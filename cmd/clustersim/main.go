@@ -1,0 +1,133 @@
+// Command clustersim executes an NPB-like parallel program on a
+// simulated cluster under a chosen thermal-control configuration and
+// reports execution time, power and thermal statistics per node — the
+// workhorse behind the paper's §4.3/§4.4 comparisons.
+//
+// Usage:
+//
+//	clustersim [-nodes 4] [-program bt|lu] [-fan dynamic|static|constant|auto]
+//	           [-dvfs none|tdvfs|cpuspeed] [-pp 50] [-max-duty 50] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"thermctl/internal/baseline"
+	"thermctl/internal/cluster"
+	"thermctl/internal/core"
+	"thermctl/internal/workload"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 4, "cluster size")
+	program := flag.String("program", "bt", "program: bt or lu")
+	fanMethod := flag.String("fan", "dynamic", "fan control: dynamic, static, constant or auto (chip firmware)")
+	dvfs := flag.String("dvfs", "tdvfs", "DVFS daemon: none, tdvfs or cpuspeed")
+	pp := flag.Int("pp", 50, "policy parameter Pp in [1,100]")
+	maxDuty := flag.Float64("max-duty", 50, "maximum PWM duty, percent")
+	seed := flag.Uint64("seed", 20100131, "simulation seed")
+	flag.Parse()
+
+	c, err := cluster.New(*nodes, cluster.DefaultDt, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	c.Settle(0)
+
+	// Per-node controllers, exactly as daemons run per machine.
+	for _, n := range c.Nodes {
+		read := core.SysfsTemp(n.FS, n.Hwmon.TempInput)
+		fanPort := &core.SysfsFanPort{FS: n.FS, Chip: n.Hwmon}
+		freqPort := &core.SysfsFreqPort{FS: n.FS, Paths: n.Cpufreq}
+
+		var fanCtl *core.Controller
+		switch *fanMethod {
+		case "dynamic":
+			fanCtl, err = core.NewController(core.DefaultConfig(*pp), read,
+				core.ActuatorBinding{Actuator: core.NewFanActuator(fanPort, *maxDuty)})
+			if err != nil {
+				fatal(err)
+			}
+		case "static":
+			s, err := baseline.NewStaticFan(baseline.DefaultStaticFanConfig(*maxDuty), read, fanPort)
+			if err != nil {
+				fatal(err)
+			}
+			c.AddController(s)
+		case "constant":
+			c.AddController(baseline.NewConstantFan(*maxDuty, fanPort))
+		case "auto":
+			// chip firmware curve; nothing to attach
+		default:
+			fatal(fmt.Errorf("unknown fan method %q", *fanMethod))
+		}
+
+		switch *dvfs {
+		case "tdvfs":
+			act, err := core.NewDVFSActuator(freqPort)
+			if err != nil {
+				fatal(err)
+			}
+			d, err := core.NewTDVFS(core.DefaultTDVFSConfig(*pp), read, act)
+			if err != nil {
+				fatal(err)
+			}
+			if fanCtl != nil {
+				c.AddController(core.NewHybrid(fanCtl, d))
+				fanCtl = nil
+			} else {
+				c.AddController(d)
+			}
+		case "cpuspeed":
+			cs, err := baseline.NewCPUSpeed(baseline.DefaultCPUSpeedConfig(), n.FS, freqPort)
+			if err != nil {
+				fatal(err)
+			}
+			c.AddController(cs)
+		case "none":
+		default:
+			fatal(fmt.Errorf("unknown dvfs daemon %q", *dvfs))
+		}
+		if fanCtl != nil {
+			c.AddController(fanCtl)
+		}
+	}
+
+	var prog workload.Program
+	switch *program {
+	case "bt":
+		prog = workload.BTB4()
+	case "lu":
+		prog = workload.LUB4()
+	default:
+		fatal(fmt.Errorf("unknown program %q", *program))
+	}
+
+	fmt.Printf("clustersim: %s on %d nodes, fan=%s dvfs=%s Pp=%d max-duty=%.0f%%\n",
+		prog, *nodes, *fanMethod, *dvfs, *pp, *maxDuty)
+	res := c.RunProgram(prog, 0)
+	if res.TimedOut {
+		fmt.Println("WARNING: run hit the simulation time limit")
+	}
+
+	fmt.Printf("\nexecution time: %.1f s (ideal at 2.4 GHz: %.1f s)\n",
+		res.ExecTime.Seconds(), prog.IdealSeconds(2.4))
+	fmt.Printf("%-8s %10s %10s %10s %12s %12s\n",
+		"node", "avg W", "peak W", "die degC", "fan duty %", "freq chgs")
+	var totalW float64
+	for _, n := range c.Nodes {
+		fmt.Printf("%-8s %10.2f %10.1f %10.2f %12.1f %12d\n",
+			n.Name, n.Meter.AverageW(), n.Meter.PeakW(), n.TrueDieC(),
+			n.Fan.Duty(), n.CPU.Transitions())
+		totalW += n.Meter.AverageW()
+	}
+	fmt.Printf("\ncluster average power: %.2f W; power-delay product: %.0f W*s/node\n",
+		totalW, totalW/float64(len(c.Nodes))*res.ExecTime.Seconds())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "clustersim:", err)
+	os.Exit(1)
+}

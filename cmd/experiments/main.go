@@ -1,0 +1,212 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation on the simulated cluster and prints them in the paper's
+// layout.
+//
+// Usage:
+//
+//	experiments [-only fig5,table1] [-seed N] [-csv dir]
+//
+// With -csv, the temperature/duty/frequency time series behind each
+// figure are written as CSV files into the given directory, ready for
+// plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"thermctl/internal/experiment"
+	"thermctl/internal/report"
+	"thermctl/internal/trace"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated subset: fig2,fig5,fig6,fig7,fig8,fig9,table1,fig10,fanfailure,scaling,rack,workloads,ablation")
+	seed := flag.Uint64("seed", experiment.Seed, "simulation seed")
+	csvDir := flag.String("csv", "", "directory to write per-figure CSV series into")
+	markdown := flag.Bool("markdown", false, "emit the full generated reproduction report as markdown and exit")
+	flag.Parse()
+
+	if *markdown {
+		all, err := report.Collect(*seed)
+		if err != nil {
+			fatal(err)
+		}
+		if err := all.Markdown(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, k := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(strings.ToLower(k))] = true
+		}
+	}
+	run := func(name string) bool { return len(want) == 0 || want[name] }
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+
+	if run("fig2") {
+		r, err := experiment.Fig2(*seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(r)
+		writeSeries(*csvDir, "fig2.csv", map[string]*trace.Series{"temp": r.Temp})
+	}
+	if run("fig5") {
+		r, err := experiment.Fig5(*seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(r)
+		series := map[string]*trace.Series{}
+		for _, row := range r.Rows {
+			series[fmt.Sprintf("temp_pp%d", row.Pp)] = row.Temp
+			series[fmt.Sprintf("duty_pp%d", row.Pp)] = row.Duty
+		}
+		writeSeries(*csvDir, "fig5.csv", series)
+	}
+	if run("fig6") {
+		r, err := experiment.Fig6(*seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(r)
+		series := map[string]*trace.Series{}
+		for _, row := range r.Rows {
+			series["temp_"+row.Method.String()] = row.Temp
+			series["duty_"+row.Method.String()] = row.Duty
+		}
+		writeSeries(*csvDir, "fig6.csv", series)
+	}
+	if run("fig7") {
+		r, err := experiment.Fig7(*seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(r)
+		series := map[string]*trace.Series{}
+		for _, row := range r.Rows {
+			series[fmt.Sprintf("temp_cap%.0f", row.MaxDuty)] = row.Temp
+			series[fmt.Sprintf("duty_cap%.0f", row.MaxDuty)] = row.Duty
+		}
+		writeSeries(*csvDir, "fig7.csv", series)
+	}
+	if run("fig8") {
+		r, err := experiment.Fig8(*seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(r)
+		writeSeries(*csvDir, "fig8.csv", map[string]*trace.Series{
+			"temp": r.Temp, "freq": r.Freq,
+		})
+	}
+	if run("fig9") {
+		r, err := experiment.Fig9(*seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(r)
+		series := map[string]*trace.Series{}
+		for _, row := range r.Rows {
+			series["temp_"+row.Daemon] = row.Temp
+			series["freq_"+row.Daemon] = row.Freq
+		}
+		writeSeries(*csvDir, "fig9.csv", series)
+	}
+	if run("table1") {
+		r, err := experiment.Table1(*seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(r)
+	}
+	if run("fanfailure") {
+		r, err := experiment.FanFailure(*seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(r)
+	}
+	if run("rack") {
+		r, err := experiment.RackStudy(*seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(r)
+	}
+	if run("workloads") {
+		r, err := experiment.WorkloadStudy(*seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(r)
+	}
+	if run("ablation") {
+		r, err := experiment.Ablation(*seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(r)
+	}
+	if run("scaling") {
+		r, err := experiment.Scaling(*seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(r)
+	}
+	if run("fig10") {
+		r, err := experiment.Fig10(*seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(r)
+		series := map[string]*trace.Series{}
+		for _, row := range r.Rows {
+			series[fmt.Sprintf("temp_pp%d", row.Pp)] = row.Temp
+			series[fmt.Sprintf("freq_pp%d", row.Pp)] = row.Freq
+		}
+		writeSeries(*csvDir, "fig10.csv", series)
+	}
+}
+
+func writeSeries(dir, name string, series map[string]*trace.Series) {
+	if dir == "" {
+		return
+	}
+	rec := trace.NewRecorder()
+	for label, s := range series {
+		if s == nil {
+			continue
+		}
+		for _, p := range s.Points {
+			rec.Record(label, p.T, p.V)
+		}
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := rec.WriteCSV(f); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("  wrote %s\n", filepath.Join(dir, name))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,110 @@
+// Command fanctl runs the paper's history-based dynamic fan controller
+// against a simulated node and prints the temperature/duty trajectory —
+// the single-node equivalent of the paper's §4.2 study.
+//
+// Usage:
+//
+//	fanctl [-pp 50] [-max-duty 100] [-workload burn|fig2|idle]
+//	       [-duration 5m] [-method dynamic|static|constant] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"thermctl"
+	"thermctl/internal/workload"
+)
+
+// stepper is the common OnStep surface of all controllers.
+type stepper interface{ OnStep(now time.Duration) }
+
+func main() {
+	pp := flag.Int("pp", 50, "policy parameter Pp in [1,100]; small = aggressive cooling")
+	maxDuty := flag.Float64("max-duty", 100, "maximum PWM duty cycle, percent")
+	wl := flag.String("workload", "burn", "workload: burn, fig2 or idle")
+	duration := flag.Duration("duration", 5*time.Minute, "simulated run time")
+	method := flag.String("method", "dynamic", "fan method: dynamic, static or constant")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	every := flag.Duration("report", 10*time.Second, "reporting interval")
+	flag.Parse()
+
+	n, err := thermctl.NewNode("fanctl", *seed)
+	if err != nil {
+		fatal(err)
+	}
+	n.Settle(0)
+
+	var ctl stepper
+	switch *method {
+	case "dynamic":
+		c, err := thermctl.NewDynamicFanControl(n, *pp, *maxDuty)
+		if err != nil {
+			fatal(err)
+		}
+		ctl = c
+	case "static":
+		c, err := thermctl.NewStaticFanControl(n, *maxDuty)
+		if err != nil {
+			fatal(err)
+		}
+		ctl = c
+	case "constant":
+		// Pin once through the sysfs port and idle the control loop.
+		c, err := thermctl.NewStaticFanControl(n, *maxDuty)
+		if err != nil {
+			fatal(err)
+		}
+		_ = c
+		if err := n.FS.WriteInt(n.Hwmon.PWMEnable, 1); err != nil {
+			fatal(err)
+		}
+		if err := n.FS.WriteInt(n.Hwmon.PWM, int64(*maxDuty*255/100)); err != nil {
+			fatal(err)
+		}
+		ctl = nopStepper{}
+	default:
+		fatal(fmt.Errorf("unknown method %q", *method))
+	}
+
+	switch *wl {
+	case "burn":
+		n.SetGenerator(thermctl.CPUBurn(*seed + 1))
+	case "fig2":
+		n.SetGenerator(workload.Fig2Profile())
+	case "idle":
+		n.SetGenerator(workload.Constant(0.03))
+	default:
+		fatal(fmt.Errorf("unknown workload %q", *wl))
+	}
+
+	fmt.Printf("fanctl: %s fan control, Pp=%d, max duty %.0f%%, workload %s, %s\n",
+		*method, *pp, *maxDuty, *wl, *duration)
+	fmt.Printf("%8s %10s %10s %10s %10s\n", "time", "temp degC", "duty %", "fan RPM", "power W")
+
+	dt := 250 * time.Millisecond
+	next := time.Duration(0)
+	for n.Elapsed() < *duration {
+		n.Step(dt)
+		ctl.OnStep(n.Elapsed())
+		if n.Elapsed() >= next {
+			next += *every
+			fmt.Printf("%8s %10.2f %10.1f %10.0f %10.1f\n",
+				n.Elapsed().Truncate(time.Second), n.Sensor.Read(),
+				n.Fan.Duty(), n.Fan.TachRPM(), n.Power().Total())
+		}
+	}
+	fmt.Printf("\nfinal: die %.2f degC, duty %.1f%%, average power %.2f W over %s\n",
+		n.TrueDieC(), n.Fan.Duty(), n.Meter.AverageW(), n.Meter.Elapsed().Truncate(time.Second))
+}
+
+type nopStepper struct{}
+
+func (nopStepper) OnStep(time.Duration) {}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fanctl:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,121 @@
+// Command ipmitool is the management-station client for this
+// repository's IPMI dialect: it connects to a BMC served over TCP
+// (e.g. by `thermctld -ipmi 127.0.0.1:9623`) and reads sensors or
+// commands the fan — the out-of-band path, exercised from a separate
+// process exactly as a real operations console would.
+//
+// Usage:
+//
+//	ipmitool -H 127.0.0.1:9623 sensor list
+//	ipmitool -H 127.0.0.1:9623 sensor read 1
+//	ipmitool -H 127.0.0.1:9623 fan status
+//	ipmitool -H 127.0.0.1:9623 fan manual 80
+//	ipmitool -H 127.0.0.1:9623 fan auto
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"thermctl/internal/ipmi"
+)
+
+func main() {
+	host := flag.String("H", "127.0.0.1:9623", "BMC address (host:port)")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 2 {
+		usage()
+	}
+
+	conn, err := ipmi.Dial(*host)
+	if err != nil {
+		fatal(err)
+	}
+	defer conn.Close()
+	c := ipmi.NewClient(conn)
+
+	switch args[0] + " " + args[1] {
+	case "sensor list":
+		sensors, err := c.ListSensors()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-4s %-16s %-12s %s\n", "num", "name", "unit", "reading")
+		for _, s := range sensors {
+			v, err := c.ReadSensor(s.Number)
+			reading := "n/a"
+			if err == nil {
+				reading = fmt.Sprintf("%.2f", v)
+			}
+			fmt.Printf("%-4d %-16s %-12s %s\n", s.Number, s.Name, s.Unit, reading)
+		}
+	case "sensor read":
+		if len(args) < 3 {
+			usage()
+		}
+		num, err := strconv.Atoi(args[2])
+		if err != nil || num < 0 || num > 255 {
+			fatal(fmt.Errorf("bad sensor number %q", args[2]))
+		}
+		v, err := c.ReadSensor(uint8(num))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%.2f\n", v)
+	case "fan status":
+		manual, err := c.FanManual()
+		if err != nil {
+			fatal(err)
+		}
+		duty, err := c.FanDuty()
+		if err != nil {
+			fatal(err)
+		}
+		mode := "auto"
+		if manual {
+			mode = "manual"
+		}
+		fmt.Printf("mode: %s, duty: %.0f%%\n", mode, duty)
+	case "fan manual":
+		if len(args) < 3 {
+			usage()
+		}
+		duty, err := strconv.ParseFloat(args[2], 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad duty %q", args[2]))
+		}
+		if err := c.SetFanManual(true); err != nil {
+			fatal(err)
+		}
+		if err := c.SetFanDuty(duty); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("fan set to manual, %.0f%% duty\n", duty)
+	case "fan auto":
+		if err := c.SetFanManual(false); err != nil {
+			fatal(err)
+		}
+		fmt.Println("fan returned to automatic (chip curve) control")
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: ipmitool -H host:port <command>
+commands:
+  sensor list            list the BMC's sensor repository with readings
+  sensor read <num>      read one sensor
+  fan status             show fan mode and duty
+  fan manual <duty>      take manual control at the given duty percent
+  fan auto               return the fan to the chip's automatic curve`)
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ipmitool:", err)
+	os.Exit(1)
+}

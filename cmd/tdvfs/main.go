@@ -1,0 +1,86 @@
+// Command tdvfs runs the temperature-aware DVFS daemon against a
+// simulated node whose fan is pinned weak, demonstrating the paper's
+// §4.3: frequency scales down only when the average temperature is
+// consistently above the threshold and restores when consistently
+// below.
+//
+// Usage:
+//
+//	tdvfs [-pp 50] [-threshold 51] [-fan-duty 25] [-duration 10m] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"thermctl"
+	"thermctl/internal/core"
+)
+
+func main() {
+	pp := flag.Int("pp", 50, "policy parameter Pp in [1,100]")
+	threshold := flag.Float64("threshold", 51, "trigger temperature, degC")
+	fanDuty := flag.Float64("fan-duty", 25, "pinned fan duty, percent (weak fan forces DVFS to act)")
+	duration := flag.Duration("duration", 10*time.Minute, "simulated run time")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	every := flag.Duration("report", 15*time.Second, "reporting interval")
+	flag.Parse()
+
+	n, err := thermctl.NewNode("tdvfs", *seed)
+	if err != nil {
+		fatal(err)
+	}
+	n.Settle(0)
+
+	// Pin the fan through sysfs, as a weak or failed cooling stage.
+	if err := n.FS.WriteInt(n.Hwmon.PWMEnable, 1); err != nil {
+		fatal(err)
+	}
+	if err := n.FS.WriteInt(n.Hwmon.PWM, int64(*fanDuty*255/100)); err != nil {
+		fatal(err)
+	}
+
+	cfg := core.DefaultTDVFSConfig(*pp)
+	cfg.ThresholdC = *threshold
+	act, err := core.NewDVFSActuator(&core.SysfsFreqPort{FS: n.FS, Paths: n.Cpufreq})
+	if err != nil {
+		fatal(err)
+	}
+	d, err := core.NewTDVFS(cfg, core.SysfsTemp(n.FS, n.Hwmon.TempInput), act)
+	if err != nil {
+		fatal(err)
+	}
+
+	n.SetGenerator(thermctl.CPUBurn(*seed + 1))
+	fmt.Printf("tdvfs: Pp=%d, threshold %.0f degC, fan pinned at %.0f%%, cpu-burn for %s\n",
+		*pp, *threshold, *fanDuty, *duration)
+	fmt.Printf("%8s %10s %9s %7s %7s %12s\n", "time", "temp degC", "freq GHz", "downs", "ups", "transitions")
+
+	dt := 250 * time.Millisecond
+	next := time.Duration(0)
+	lastFreq := n.CPU.FreqGHz()
+	for n.Elapsed() < *duration {
+		n.Step(dt)
+		d.OnStep(n.Elapsed())
+		if f := n.CPU.FreqGHz(); f != lastFreq {
+			fmt.Printf("%8s  >> frequency change: %.1f -> %.1f GHz\n",
+				n.Elapsed().Truncate(time.Second), lastFreq, f)
+			lastFreq = f
+		}
+		if n.Elapsed() >= next {
+			next += *every
+			fmt.Printf("%8s %10.2f %9.1f %7d %7d %12d\n",
+				n.Elapsed().Truncate(time.Second), n.Sensor.Read(), n.CPU.FreqGHz(),
+				d.Downscales(), d.Upscales(), n.CPU.Transitions())
+		}
+	}
+	fmt.Printf("\nfinal: die %.2f degC at %.1f GHz; %d transitions total\n",
+		n.TrueDieC(), n.CPU.FreqGHz(), n.CPU.Transitions())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tdvfs:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,127 @@
+// Command thermctld is the unified thermal control daemon: it runs a
+// simulated node under the paper's coordinated fan+DVFS controller and
+// optionally exposes the node's BMC over TCP so external tools can read
+// sensors and command the fan out-of-band while the daemon runs.
+//
+// Usage:
+//
+//	thermctld [-pp 50] [-max-duty 50] [-duration 10m]
+//	          [-ipmi 127.0.0.1:9623] [-seed 1] [-config thermctl.json]
+//
+// A JSON config file (see internal/config) overrides the flag defaults:
+//
+//	{"pp": 25, "max_fan_duty": 60, "threshold_c": 55}
+//
+// With -ipmi, connect with any client speaking this repository's IPMI
+// framing, e.g.:
+//
+//	c, _ := ipmi.Dial("127.0.0.1:9623")
+//	t, _ := ipmi.NewClient(c).ReadSensor(1) // CPU temperature
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"thermctl"
+	"thermctl/internal/config"
+	"thermctl/internal/core"
+	"thermctl/internal/ipmi"
+)
+
+func main() {
+	pp := flag.Int("pp", 50, "policy parameter Pp in [1,100] for both knobs")
+	maxDuty := flag.Float64("max-duty", 50, "maximum PWM duty, percent")
+	duration := flag.Duration("duration", 10*time.Minute, "simulated run time")
+	ipmiAddr := flag.String("ipmi", "", "optional TCP address to serve the node's BMC on")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	every := flag.Duration("report", 15*time.Second, "reporting interval")
+	verbose := flag.Bool("verbose", false, "print the controller's internal status with each report")
+	pace := flag.Float64("pace", 0, "simulated seconds per wall second (0 = run flat out); use e.g. 10 when driving the BMC interactively with ipmitool")
+	cfgPath := flag.String("config", "", "JSON configuration file; overrides -pp/-max-duty")
+	flag.Parse()
+
+	cfg := config.Default()
+	cfg.Pp = *pp
+	cfg.MaxFanDuty = *maxDuty
+	if *cfgPath != "" {
+		loaded, err := config.Load(*cfgPath)
+		if err != nil {
+			fatal(err)
+		}
+		cfg = loaded
+	}
+	if err := cfg.Validate(); err != nil {
+		fatal(err)
+	}
+
+	n, err := thermctl.NewNode("thermctld", *seed)
+	if err != nil {
+		fatal(err)
+	}
+	n.Settle(0)
+
+	read := core.SysfsTemp(n.FS, n.Hwmon.TempInput)
+	fan, err := core.NewController(cfg.ControllerConfig(), read,
+		core.ActuatorBinding{Actuator: core.NewFanActuator(
+			&core.SysfsFanPort{FS: n.FS, Chip: n.Hwmon}, cfg.MaxFanDuty)})
+	if err != nil {
+		fatal(err)
+	}
+	act, err := core.NewDVFSActuator(&core.SysfsFreqPort{FS: n.FS, Paths: n.Cpufreq})
+	if err != nil {
+		fatal(err)
+	}
+	dvfs, err := core.NewTDVFS(cfg.TDVFSConfig(), read, act)
+	if err != nil {
+		fatal(err)
+	}
+	u := core.NewHybrid(fan, dvfs)
+
+	if *ipmiAddr != "" {
+		srv, err := ipmi.ListenAndServe(*ipmiAddr, n.BMC)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("thermctld: BMC serving IPMI on %s\n", srv.Addr())
+	}
+
+	n.SetGenerator(thermctl.CPUBurn(*seed + 1))
+	fmt.Printf("thermctld: unified control, Pp=%d, max duty %.0f%%, threshold %.0f degC, %s\n",
+		cfg.Pp, cfg.MaxFanDuty, cfg.ThresholdC, *duration)
+	fmt.Printf("%8s %10s %8s %9s %8s %10s\n",
+		"time", "temp degC", "duty %", "freq GHz", "dvfs", "power W")
+
+	dt := 250 * time.Millisecond
+	next := time.Duration(0)
+	for n.Elapsed() < *duration {
+		if *pace > 0 {
+			time.Sleep(time.Duration(float64(dt) / *pace))
+		}
+		n.Step(dt)
+		u.OnStep(n.Elapsed())
+		if n.Elapsed() >= next {
+			next += *every
+			engaged := "idle"
+			if u.DVFS.Engaged() {
+				engaged = "engaged"
+			}
+			fmt.Printf("%8s %10.2f %8.1f %9.1f %8s %10.1f\n",
+				n.Elapsed().Truncate(time.Second), n.Sensor.Read(), n.Fan.Duty(),
+				n.CPU.FreqGHz(), engaged, n.Power().Total())
+			if *verbose {
+				fmt.Printf("          %s\n", fan.Status())
+			}
+		}
+	}
+	fmt.Printf("\nfinal: die %.2f degC, duty %.1f%%, %.1f GHz; avg power %.2f W; %d freq transitions\n",
+		n.TrueDieC(), n.Fan.Duty(), n.CPU.FreqGHz(), n.Meter.AverageW(), n.CPU.Transitions())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "thermctld:", err)
+	os.Exit(1)
+}

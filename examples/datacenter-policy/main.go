@@ -1,0 +1,87 @@
+// datacenter-policy explores the paper's motivating setting: a rack
+// with position-dependent inlet temperatures (hot spots). Nodes near
+// the top of the rack ingest pre-heated air; a single global policy Pp
+// must keep every node out of thermal emergency while wasting as little
+// fan power and performance as possible.
+//
+// The example sweeps Pp across the rack and reports, per policy, the
+// hottest node, total fan energy and the execution time of a BT run —
+// the tradeoff surface a data-center operator would tune on.
+//
+//	go run ./examples/datacenter-policy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"thermctl"
+	"thermctl/internal/cluster"
+	"thermctl/internal/core"
+	"thermctl/internal/node"
+)
+
+// rackCluster builds a 4-node "rack" whose inlet temperature rises with
+// position: the top node breathes air pre-heated by the ones below.
+func rackCluster(seed uint64) (*thermctl.Cluster, error) {
+	var nodes []*node.Node
+	for i := 0; i < 4; i++ {
+		cfg := node.DefaultConfig(fmt.Sprintf("rack%d", i), seed+uint64(i)*7919)
+		cfg.AmbientOffsetC = float64(i) * 2.5 // +2.5 °C per slot upwards
+		n, err := node.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		nodes = append(nodes, n)
+	}
+	return cluster.NewWithNodes(nodes, cluster.DefaultDt)
+}
+
+func main() {
+	fmt.Println("Rack with a vertical hot spot: inlet +0.0 / +2.5 / +5.0 / +7.5 °C per slot")
+	fmt.Println("BT.B.4 under the unified controller at each policy:")
+	fmt.Printf("\n%-6s %-10s %-14s %-14s %-12s %-12s\n",
+		"Pp", "exec (s)", "hottest degC", "top-node GHz", "fan J/node", "avg W/node")
+
+	for _, pp := range []int{90, 75, 50, 25, 10} {
+		rack, err := rackCluster(20100131)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rack.Settle(0)
+		for _, n := range rack.Nodes {
+			fan, err := thermctl.NewDynamicFanControl(n, pp, 60)
+			if err != nil {
+				log.Fatal(err)
+			}
+			dvfs, err := thermctl.NewTDVFS(n, pp)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rack.AddController(core.NewHybrid(fan, dvfs))
+		}
+
+		res := rack.RunProgram(thermctl.BTB4(), 0)
+
+		hottest, fanJ, watts := 0.0, 0.0, 0.0
+		for _, n := range rack.Nodes {
+			if t := n.TrueDieC(); t > hottest {
+				hottest = t
+			}
+			fanJ += n.Meter.FanEnergyJ()
+			watts += n.Meter.AverageW()
+		}
+		top := rack.Nodes[len(rack.Nodes)-1]
+		fmt.Printf("%-6d %-10.1f %-14.2f %-14.1f %-12.1f %-12.2f\n",
+			pp, res.ExecTime.Seconds(), hottest, top.CPU.FreqGHz(),
+			fanJ/4, watts/4)
+	}
+
+	fmt.Println("\nReading the surface: with a +7.5 °C hot slot and a 60% fan cap, no")
+	fmt.Println("policy is free. Aggressive policies (small Pp) hold the rack coolest")
+	fmt.Println("and cheapest in watts, but their deep frequency jumps stall the")
+	fmt.Println("barrier-synchronized job; conservative policies keep it fast and hot.")
+	fmt.Println("This is the paper's point about Pp: the optimum depends on the")
+	fmt.Println("application and the thermal environment — the knob exposes the")
+	fmt.Println("tradeoff so the operator can pick, uniformly across both techniques.")
+}

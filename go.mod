@@ -1,0 +1,3 @@
+module thermctl
+
+go 1.22

@@ -1,0 +1,284 @@
+package adt7467
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"thermctl/internal/fan"
+	"thermctl/internal/i2c"
+	"thermctl/internal/sensor"
+)
+
+// rig builds a chip+driver pair around a controllable temperature.
+func rig(t *testing.T) (set func(float64), f *fan.Fan, chip *Chip, drv *Driver) {
+	t.Helper()
+	temp := 40.0
+	src := sensor.SourceFunc(func() float64 { return temp })
+	sens := sensor.New(sensor.Config{}, src, nil) // noiseless for exact assertions
+	f = fan.New(fan.Default(), 10)
+	chip = NewChip(sens, f)
+	bus := i2c.NewBus()
+	if err := bus.Attach(DefaultAddr, chip); err != nil {
+		t.Fatal(err)
+	}
+	drv, err := NewDriver(bus, DefaultAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return func(v float64) { temp = v }, f, chip, drv
+}
+
+func TestProbeVerifiesIDs(t *testing.T) {
+	bus := i2c.NewBus()
+	_ = bus.Attach(0x2E, i2c.NewRegisterFile()) // wrong chip: zero IDs
+	if _, err := NewDriver(bus, 0x2E); err == nil {
+		t.Error("probe accepted a chip with wrong IDs")
+	}
+	if _, err := NewDriver(bus, 0x4C); err == nil {
+		t.Error("probe accepted an empty address")
+	}
+}
+
+func TestTempReadback(t *testing.T) {
+	set, _, _, drv := rig(t)
+	set(51.4)
+	got, err := drv.TempC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 51 {
+		t.Errorf("TempC = %v, want 51 (whole-degree register)", got)
+	}
+	set(-10)
+	if got, _ := drv.TempC(); got != -10 {
+		t.Errorf("negative TempC = %v, want -10 (two's complement)", got)
+	}
+}
+
+func TestAutoModeFollowsStaticCurve(t *testing.T) {
+	set, f, chip, _ := rig(t)
+
+	set(30) // below Tmin=38
+	chip.Step(time.Second)
+	if math.Abs(f.Duty()-10) > 0.5 {
+		t.Errorf("duty below Tmin = %v, want PWMmin 10", f.Duty())
+	}
+
+	set(60) // halfway: 38 + 22 of 44 → 10 + 0.5·90 = 55
+	chip.Step(time.Second)
+	if math.Abs(f.Duty()-55) > 1 {
+		t.Errorf("duty at 60 °C = %v, want ≈55", f.Duty())
+	}
+
+	set(90) // above Tmax=82
+	chip.Step(time.Second)
+	if f.Duty() != 100 {
+		t.Errorf("duty above Tmax = %v, want 100", f.Duty())
+	}
+}
+
+func TestManualModeIgnoresTemperature(t *testing.T) {
+	set, f, chip, drv := rig(t)
+	if err := drv.SetManual(true); err != nil {
+		t.Fatal(err)
+	}
+	if err := drv.SetDuty(42); err != nil {
+		t.Fatal(err)
+	}
+	set(95)
+	chip.Step(time.Second)
+	if math.Abs(f.Duty()-42) > 0.5 {
+		t.Errorf("manual duty = %v after hot reading, want 42", f.Duty())
+	}
+}
+
+func TestManualWriteInAutoModeDoesNotMoveFan(t *testing.T) {
+	set, f, chip, drv := rig(t)
+	set(30)
+	chip.Step(time.Second) // auto: 10%
+	_ = drv.SetDuty(90)    // write while still in auto mode
+	chip.Step(time.Second)
+	if f.Duty() > 11 {
+		t.Errorf("duty write in auto mode moved the fan to %v", f.Duty())
+	}
+}
+
+func TestDutyReadback(t *testing.T) {
+	_, _, chip, drv := rig(t)
+	_ = drv.SetManual(true)
+	_ = drv.SetDuty(75)
+	chip.Step(time.Second)
+	got, err := drv.Duty()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-75) > 0.5 {
+		t.Errorf("duty readback = %v, want ≈75 (8-bit quantized)", got)
+	}
+}
+
+func TestTachRoundTrip(t *testing.T) {
+	_, f, chip, drv := rig(t)
+	_ = drv.SetManual(true)
+	_ = drv.SetDuty(100)
+	for i := 0; i < 40; i++ {
+		f.Step(250 * time.Millisecond)
+	}
+	chip.Step(time.Second)
+	rpm, err := drv.FanRPM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rpm-4300) > 50 {
+		t.Errorf("tach RPM = %v, want ≈4300", rpm)
+	}
+}
+
+func TestStalledFanReadsZero(t *testing.T) {
+	_, f, chip, drv := rig(t)
+	_ = drv.SetManual(true)
+	_ = drv.SetDuty(0)
+	for i := 0; i < 200; i++ {
+		f.Step(250 * time.Millisecond)
+	}
+	chip.Step(time.Second)
+	rpm, err := drv.FanRPM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rpm != 0 {
+		t.Errorf("stalled fan RPM = %v, want 0", rpm)
+	}
+}
+
+func TestConfigureAuto(t *testing.T) {
+	set, f, chip, drv := rig(t)
+	if err := drv.ConfigureAuto(45, 30, 20); err != nil {
+		t.Fatal(err)
+	}
+	set(44)
+	chip.Step(time.Second)
+	if math.Abs(f.Duty()-20) > 1 {
+		t.Errorf("duty below new Tmin = %v, want 20", f.Duty())
+	}
+	set(60) // (60-45)/30 = 0.5 → 20 + 40 = 60
+	chip.Step(time.Second)
+	if math.Abs(f.Duty()-60) > 1 {
+		t.Errorf("duty at 60 °C with new curve = %v, want ≈60", f.Duty())
+	}
+}
+
+func TestMeasurementRegistersReadOnly(t *testing.T) {
+	_, _, chip, _ := rig(t)
+	for _, reg := range []uint8{RegRemote1Temp, RegTach1Low, RegTach1High, RegDeviceID, RegCompanyID} {
+		if err := chip.WriteReg(reg, 0); err == nil {
+			t.Errorf("write to measurement register %#x succeeded", reg)
+		}
+	}
+}
+
+func TestStaticCurveProperties(t *testing.T) {
+	// The curve is monotone non-decreasing in temperature and bounded
+	// by [minDuty, 100].
+	if err := quick.Check(func(a, b uint8) bool {
+		ta, tb := float64(a)/2, float64(b)/2 // 0..127.5 °C
+		if ta > tb {
+			ta, tb = tb, ta
+		}
+		da := StaticCurve(ta, 38, 44, 10)
+		db := StaticCurve(tb, 38, 44, 10)
+		return da <= db+1e-9 && da >= 10 && db <= 100
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStaticCurveDegenerateRange(t *testing.T) {
+	if got := StaticCurve(50, 38, 0, 10); got != 100 {
+		t.Errorf("zero Trange above Tmin = %v, want 100 (step function)", got)
+	}
+	if got := StaticCurve(30, 38, 0, 10); got != 10 {
+		t.Errorf("zero Trange below Tmin = %v, want minDuty", got)
+	}
+}
+
+func TestTempAlarmLatchesAndClears(t *testing.T) {
+	set, _, chip, drv := rig(t)
+	if err := drv.SetTempLimits(10, 60); err != nil {
+		t.Fatal(err)
+	}
+	set(45)
+	chip.Step(time.Second)
+	if a, err := drv.TempAlarm(); err != nil || a {
+		t.Fatalf("in-limits alarm = %v, %v", a, err)
+	}
+	// Violate the high limit for one cycle.
+	set(65)
+	chip.Step(time.Second)
+	set(45)
+	chip.Step(time.Second)
+	// The latch holds the past violation even though the condition is
+	// gone...
+	a, err := drv.TempAlarm()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a {
+		t.Error("alarm did not latch the past violation")
+	}
+	// ...and the read cleared it.
+	if a, _ := drv.TempAlarm(); a {
+		t.Error("alarm still set after read with condition gone")
+	}
+}
+
+func TestTempAlarmPersistsWhileViolating(t *testing.T) {
+	set, _, chip, drv := rig(t)
+	if err := drv.SetTempLimits(10, 60); err != nil {
+		t.Fatal(err)
+	}
+	set(70)
+	chip.Step(time.Second)
+	for i := 0; i < 3; i++ {
+		if a, _ := drv.TempAlarm(); !a {
+			t.Fatalf("alarm cleared on read %d while still violating", i)
+		}
+		chip.Step(time.Second)
+	}
+}
+
+func TestLowLimitAlarm(t *testing.T) {
+	set, _, chip, drv := rig(t)
+	if err := drv.SetTempLimits(20, 80); err != nil {
+		t.Fatal(err)
+	}
+	set(5)
+	chip.Step(time.Second)
+	if a, _ := drv.TempAlarm(); !a {
+		t.Error("low-limit violation not flagged")
+	}
+}
+
+func TestDutyRegisterQuantization(t *testing.T) {
+	if dutyToReg(0) != 0 || dutyToReg(100) != 0xFF || dutyToReg(-5) != 0 || dutyToReg(200) != 0xFF {
+		t.Error("dutyToReg bounds wrong")
+	}
+	for d := 0.0; d <= 100; d += 0.5 {
+		rt := regToDuty(dutyToReg(d))
+		if math.Abs(rt-d) > 0.25 {
+			t.Fatalf("duty %v round-trips to %v (error > half an LSB)", d, rt)
+		}
+	}
+}
+
+func BenchmarkChipStepAuto(b *testing.B) {
+	src := sensor.SourceFunc(func() float64 { return 55 })
+	sens := sensor.New(sensor.Config{}, src, nil)
+	f := fan.New(fan.Default(), 10)
+	chip := NewChip(sens, f)
+	for i := 0; i < b.N; i++ {
+		chip.Step(250 * time.Millisecond)
+	}
+}

@@ -1,0 +1,267 @@
+// Package baseline implements the comparison controllers of the paper's
+// evaluation:
+//
+//   - StaticFan: the traditional static fan control of Figure 1 — PWM
+//     duty is a fixed linear map of the current temperature (PWMmin
+//     below Tmin, rising to the maximum at Tmax), with no history, no
+//     prediction and no policy parameter.
+//   - ConstantFan: a fixed duty cycle (the paper pins it at 75%), the
+//     maximum-cooling / maximum-fan-power reference.
+//   - CPUSpeed: the CPUSPEED daemon [33] — utilization-driven frequency
+//     scaling with no temperature input, reading /proc/stat like the
+//     real daemon. Its transition churn on phase-structured parallel
+//     applications is the foil for tDVFS in Table 1.
+package baseline
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"thermctl/internal/adt7467"
+	"thermctl/internal/core"
+	"thermctl/internal/hwmon"
+)
+
+// StaticFanConfig parameterizes the traditional controller.
+type StaticFanConfig struct {
+	// TminC, TmaxC, MinDuty define the Figure 1 line: MinDuty at TminC,
+	// rising linearly to MaxDuty at TmaxC. Paper platform: 38 °C, 82 °C,
+	// 10%.
+	TminC, TmaxC float64
+	MinDuty      float64
+	// MaxDuty caps the speed ("the maximum allowed fan speed ... is
+	// set to 75%" in the paper's Figure 6 comparison).
+	MaxDuty float64
+	// SamplePeriod is how often the map is re-evaluated (250 ms).
+	SamplePeriod time.Duration
+}
+
+// DefaultStaticFanConfig returns the paper's traditional fan curve with
+// the given duty cap.
+func DefaultStaticFanConfig(maxDuty float64) StaticFanConfig {
+	return StaticFanConfig{
+		TminC: 38, TmaxC: 82,
+		MinDuty: 10, MaxDuty: maxDuty,
+		SamplePeriod: 250 * time.Millisecond,
+	}
+}
+
+// StaticFan is the traditional static fan controller.
+type StaticFan struct {
+	cfg  StaticFanConfig
+	read core.TempReader
+	port core.FanPort
+	next time.Duration
+	errs uint64
+}
+
+// NewStaticFan builds the controller.
+func NewStaticFan(cfg StaticFanConfig, read core.TempReader, port core.FanPort) (*StaticFan, error) {
+	if read == nil || port == nil {
+		return nil, fmt.Errorf("baseline: static fan needs a reader and a port")
+	}
+	if cfg.SamplePeriod <= 0 {
+		return nil, fmt.Errorf("baseline: non-positive sample period")
+	}
+	if cfg.TmaxC <= cfg.TminC {
+		return nil, fmt.Errorf("baseline: Tmax must exceed Tmin")
+	}
+	return &StaticFan{cfg: cfg, read: read, port: port, next: cfg.SamplePeriod}, nil
+}
+
+// Duty returns the static map's duty for temperature t — the Figure 1
+// line capped at MaxDuty.
+func (s *StaticFan) Duty(t float64) float64 {
+	d := adt7467.StaticCurve(t, s.cfg.TminC, s.cfg.TmaxC-s.cfg.TminC, s.cfg.MinDuty)
+	if d > s.cfg.MaxDuty {
+		d = s.cfg.MaxDuty
+	}
+	return d
+}
+
+// Errors returns the failed read/actuation count.
+func (s *StaticFan) Errors() uint64 { return s.errs }
+
+// OnStep implements the cluster Controller interface.
+func (s *StaticFan) OnStep(now time.Duration) {
+	if now < s.next {
+		return
+	}
+	s.next += s.cfg.SamplePeriod
+	t, err := s.read()
+	if err != nil {
+		s.errs++
+		return
+	}
+	if err := s.port.SetDutyPercent(s.Duty(t)); err != nil {
+		s.errs++
+	}
+}
+
+// ConstantFan pins the fan at a fixed duty once and keeps it there.
+type ConstantFan struct {
+	Duty float64
+	port core.FanPort
+	done bool
+	errs uint64
+}
+
+// NewConstantFan builds the controller.
+func NewConstantFan(duty float64, port core.FanPort) *ConstantFan {
+	return &ConstantFan{Duty: duty, port: port}
+}
+
+// Errors returns the failed actuation count.
+func (c *ConstantFan) Errors() uint64 { return c.errs }
+
+// OnStep implements the cluster Controller interface.
+func (c *ConstantFan) OnStep(time.Duration) {
+	if c.done {
+		return
+	}
+	if err := c.port.SetDutyPercent(c.Duty); err != nil {
+		c.errs++
+		return
+	}
+	c.done = true
+}
+
+// CPUSpeedConfig parameterizes the CPUSPEED daemon model.
+type CPUSpeedConfig struct {
+	// Interval is the utilization evaluation period. The real daemon
+	// defaults to checking a few times per second; 500 ms here.
+	Interval time.Duration
+	// UpThreshold jumps straight to the maximum frequency when the
+	// interval utilization meets it (the daemon's responsiveness rule).
+	UpThreshold float64
+	// DownThreshold steps one frequency lower when the interval
+	// utilization falls below it.
+	DownThreshold float64
+}
+
+// DefaultCPUSpeedConfig returns thresholds representative of the
+// distributed daemon's defaults. With a 500 ms interval against BT's
+// ≈1.1 s iterations, only the longer communication exchanges pull an
+// evaluation window under the down-threshold, so the daemon churns
+// intermittently — roughly one change every couple of seconds, the
+// 101-139 changes per BT run the paper's Table 1 measures — and each
+// excursion is recovered within an interval or two.
+func DefaultCPUSpeedConfig() CPUSpeedConfig {
+	return CPUSpeedConfig{
+		Interval:      500 * time.Millisecond,
+		UpThreshold:   0.88,
+		DownThreshold: 0.66,
+	}
+}
+
+// CPUSpeed is the utilization-driven DVFS daemon. It reads /proc/stat
+// through the virtual sysfs and drives cpufreq, exactly as the real
+// daemon does — no temperature input at all.
+type CPUSpeed struct {
+	cfg  CPUSpeedConfig
+	fs   *hwmon.FS
+	freq core.FreqPort
+	next time.Duration
+
+	lastBusy, lastTotal float64
+	primed              bool
+	mode                int
+	nmodes              int
+	errs                uint64
+}
+
+// NewCPUSpeed builds the daemon over a node's file tree and frequency
+// port.
+func NewCPUSpeed(cfg CPUSpeedConfig, fs *hwmon.FS, freq core.FreqPort) (*CPUSpeed, error) {
+	if fs == nil || freq == nil {
+		return nil, fmt.Errorf("baseline: cpuspeed needs a filesystem and a freq port")
+	}
+	if cfg.Interval <= 0 {
+		return nil, fmt.Errorf("baseline: non-positive interval")
+	}
+	freqs, err := freq.AvailableKHz()
+	if err != nil {
+		return nil, fmt.Errorf("baseline: cpuspeed: %w", err)
+	}
+	return &CPUSpeed{cfg: cfg, fs: fs, freq: freq, nmodes: len(freqs), next: cfg.Interval}, nil
+}
+
+// Errors returns the failed read/actuation count.
+func (c *CPUSpeed) Errors() uint64 { return c.errs }
+
+// readProcStat parses the aggregate cpu line of /proc/stat into busy and
+// total jiffies.
+func (c *CPUSpeed) readProcStat() (busy, total float64, err error) {
+	body, err := c.fs.ReadFile("/proc/stat")
+	if err != nil {
+		return 0, 0, err
+	}
+	line, _, _ := strings.Cut(body, "\n")
+	fields := strings.Fields(line)
+	if len(fields) < 5 || fields[0] != "cpu" {
+		return 0, 0, fmt.Errorf("baseline: malformed /proc/stat %q", line)
+	}
+	var vals []float64
+	for _, f := range fields[1:] {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return 0, 0, fmt.Errorf("baseline: bad jiffy count %q", f)
+		}
+		vals = append(vals, v)
+	}
+	// user nice system idle iowait irq softirq: idle is field 4.
+	for i, v := range vals {
+		total += v
+		if i != 3 {
+			busy += v
+		}
+	}
+	return busy, total, nil
+}
+
+// OnStep implements the cluster Controller interface.
+func (c *CPUSpeed) OnStep(now time.Duration) {
+	if now < c.next {
+		return
+	}
+	c.next += c.cfg.Interval
+	busy, total, err := c.readProcStat()
+	if err != nil {
+		c.errs++
+		return
+	}
+	if !c.primed {
+		c.primed = true
+		c.lastBusy, c.lastTotal = busy, total
+		return
+	}
+	db, dt := busy-c.lastBusy, total-c.lastTotal
+	c.lastBusy, c.lastTotal = busy, total
+	if dt <= 0 {
+		return
+	}
+	util := db / dt
+
+	switch {
+	case util >= c.cfg.UpThreshold && c.mode != 0:
+		// Jump straight to the fastest frequency, as the daemon does.
+		c.mode = 0
+		c.apply()
+	case util <= c.cfg.DownThreshold && c.mode < c.nmodes-1:
+		c.mode++
+		c.apply()
+	}
+}
+
+func (c *CPUSpeed) apply() {
+	freqs, err := c.freq.AvailableKHz()
+	if err != nil {
+		c.errs++
+		return
+	}
+	if err := c.freq.SetKHz(freqs[c.mode]); err != nil {
+		c.errs++
+	}
+}

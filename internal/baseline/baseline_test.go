@@ -1,0 +1,238 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"thermctl/internal/cluster"
+	"thermctl/internal/core"
+	"thermctl/internal/node"
+	"thermctl/internal/workload"
+)
+
+func newTestNode(t *testing.T) *node.Node {
+	t.Helper()
+	n, err := node.New(node.DefaultConfig("baseline", 21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestStaticFanDutyLine(t *testing.T) {
+	n := newTestNode(t)
+	s, err := NewStaticFan(DefaultStaticFanConfig(100),
+		core.SysfsTemp(n.FS, n.Hwmon.TempInput),
+		&core.SysfsFanPort{FS: n.FS, Chip: n.Hwmon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := s.Duty(30); d != 10 {
+		t.Errorf("Duty(30) = %v, want PWMmin 10", d)
+	}
+	if d := s.Duty(60); math.Abs(d-55) > 0.5 {
+		t.Errorf("Duty(60) = %v, want ≈55 (linear midpoint)", d)
+	}
+	if d := s.Duty(90); d != 100 {
+		t.Errorf("Duty(90) = %v, want 100", d)
+	}
+}
+
+func TestStaticFanCap(t *testing.T) {
+	n := newTestNode(t)
+	s, err := NewStaticFan(DefaultStaticFanConfig(75),
+		core.SysfsTemp(n.FS, n.Hwmon.TempInput),
+		&core.SysfsFanPort{FS: n.FS, Chip: n.Hwmon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := s.Duty(90); d != 75 {
+		t.Errorf("capped Duty(90) = %v, want 75", d)
+	}
+}
+
+func TestStaticFanValidation(t *testing.T) {
+	n := newTestNode(t)
+	read := core.SysfsTemp(n.FS, n.Hwmon.TempInput)
+	port := &core.SysfsFanPort{FS: n.FS, Chip: n.Hwmon}
+	if _, err := NewStaticFan(DefaultStaticFanConfig(75), nil, port); err == nil {
+		t.Error("nil reader accepted")
+	}
+	if _, err := NewStaticFan(DefaultStaticFanConfig(75), read, nil); err == nil {
+		t.Error("nil port accepted")
+	}
+	bad := DefaultStaticFanConfig(75)
+	bad.TmaxC = bad.TminC
+	if _, err := NewStaticFan(bad, read, port); err == nil {
+		t.Error("degenerate range accepted")
+	}
+}
+
+func TestStaticFanFollowsTemperature(t *testing.T) {
+	n := newTestNode(t)
+	n.Settle(0)
+	s, err := NewStaticFan(DefaultStaticFanConfig(100),
+		core.SysfsTemp(n.FS, n.Hwmon.TempInput),
+		&core.SysfsFanPort{FS: n.FS, Chip: n.Hwmon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetGenerator(workload.NewCPUBurn(nil))
+	dt := 250 * time.Millisecond
+	for i := 0; i < 1200; i++ {
+		n.Step(dt)
+		s.OnStep(n.Elapsed())
+	}
+	// At the settled temperature the duty must match the line.
+	want := s.Duty(n.Sensor.Read())
+	if got := n.Fan.Duty(); math.Abs(got-want) > 3 {
+		t.Errorf("fan duty %v, static line says %v", got, want)
+	}
+	if s.Errors() != 0 {
+		t.Errorf("errors: %d", s.Errors())
+	}
+}
+
+func TestConstantFanPins(t *testing.T) {
+	n := newTestNode(t)
+	c := NewConstantFan(75, &core.SysfsFanPort{FS: n.FS, Chip: n.Hwmon})
+	c.OnStep(0)
+	c.OnStep(time.Second)
+	if d := n.Fan.Duty(); math.Abs(d-75) > 1 {
+		t.Errorf("fan duty = %v, want 75", d)
+	}
+}
+
+func TestCPUSpeedValidation(t *testing.T) {
+	n := newTestNode(t)
+	port := &core.SysfsFreqPort{FS: n.FS, Paths: n.Cpufreq}
+	if _, err := NewCPUSpeed(DefaultCPUSpeedConfig(), nil, port); err == nil {
+		t.Error("nil fs accepted")
+	}
+	bad := DefaultCPUSpeedConfig()
+	bad.Interval = 0
+	if _, err := NewCPUSpeed(bad, n.FS, port); err == nil {
+		t.Error("zero interval accepted")
+	}
+}
+
+func TestCPUSpeedStaysFastUnderFullLoad(t *testing.T) {
+	n := newTestNode(t)
+	cs, err := NewCPUSpeed(DefaultCPUSpeedConfig(), n.FS,
+		&core.SysfsFreqPort{FS: n.FS, Paths: n.Cpufreq})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetGenerator(workload.Constant(1))
+	dt := 250 * time.Millisecond
+	for i := 0; i < 240; i++ {
+		n.Step(dt)
+		cs.OnStep(n.Elapsed())
+	}
+	if n.CPU.FreqGHz() != 2.4 {
+		t.Errorf("full load: frequency %v GHz, want 2.4", n.CPU.FreqGHz())
+	}
+	if n.CPU.Transitions() != 0 {
+		t.Errorf("full load caused %d transitions", n.CPU.Transitions())
+	}
+}
+
+func TestCPUSpeedStepsDownWhenIdle(t *testing.T) {
+	n := newTestNode(t)
+	cs, err := NewCPUSpeed(DefaultCPUSpeedConfig(), n.FS,
+		&core.SysfsFreqPort{FS: n.FS, Paths: n.Cpufreq})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetGenerator(workload.Constant(0.05))
+	dt := 250 * time.Millisecond
+	for i := 0; i < 240; i++ {
+		n.Step(dt)
+		cs.OnStep(n.Elapsed())
+	}
+	if n.CPU.FreqGHz() != 1.0 {
+		t.Errorf("idle: frequency %v GHz, want stepped down to 1.0", n.CPU.FreqGHz())
+	}
+}
+
+func TestCPUSpeedJumpsToMaxOnLoad(t *testing.T) {
+	n := newTestNode(t)
+	cs, err := NewCPUSpeed(DefaultCPUSpeedConfig(), n.FS,
+		&core.SysfsFreqPort{FS: n.FS, Paths: n.Cpufreq})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Idle first, then sudden full load: one interval at high
+	// utilization must restore the maximum frequency directly.
+	n.SetGenerator(workload.Step{Before: 0.05, After: 1.0, At: 30 * time.Second})
+	dt := 250 * time.Millisecond
+	transAtLoadOnset := uint64(0)
+	for i := 0; i < 240; i++ {
+		n.Step(dt)
+		cs.OnStep(n.Elapsed())
+		if n.Elapsed() == 30*time.Second {
+			transAtLoadOnset = n.CPU.Transitions()
+		}
+	}
+	if n.CPU.FreqGHz() != 2.4 {
+		t.Errorf("after load onset: %v GHz, want 2.4", n.CPU.FreqGHz())
+	}
+	if n.CPU.Transitions() != transAtLoadOnset+1 {
+		t.Errorf("up-jump took %d transitions, want exactly 1 (straight to max)",
+			n.CPU.Transitions()-transAtLoadOnset)
+	}
+}
+
+// TestCPUSpeedChurnsOnParallelWorkload demonstrates the Table 1 foil:
+// BT's compute/communicate phases make the utilization heuristic change
+// frequency over and over, while the workload's thermal demand never
+// required it.
+func TestCPUSpeedChurnsOnParallelWorkload(t *testing.T) {
+	c, err := cluster.New(2, cluster.DefaultDt, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Settle(0)
+	for _, n := range c.Nodes {
+		cs, err := NewCPUSpeed(DefaultCPUSpeedConfig(), n.FS,
+			&core.SysfsFreqPort{FS: n.FS, Paths: n.Cpufreq})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.AddController(cs)
+	}
+	// Communication long enough that most evaluation intervals see the
+	// dip (real BT's longer exchanges do this intermittently).
+	prog := workload.Uniform("mini-BT", 40, workload.Iteration{
+		ComputeGC: 2.2128, ComputeUtil: 1.0, CommSec: 0.25, CommUtil: 0.10,
+	})
+	res := c.RunProgram(prog, 0)
+	if res.TimedOut {
+		t.Fatal("timed out")
+	}
+	trans := c.Nodes[0].CPU.Transitions()
+	// 40 iterations ≈ 45 s; the paper sees ≈0.5 changes/s over BT.
+	if trans < 8 {
+		t.Errorf("CPUSPEED made only %d transitions over 40 iterations, want ≥8", trans)
+	}
+}
+
+func BenchmarkCPUSpeedOnStep(b *testing.B) {
+	n, err := node.New(node.DefaultConfig("bench", 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cs, err := NewCPUSpeed(DefaultCPUSpeedConfig(), n.FS,
+		&core.SysfsFreqPort{FS: n.FS, Paths: n.Cpufreq})
+	if err != nil {
+		b.Fatal(err)
+	}
+	n.SetGenerator(workload.Constant(0.8))
+	dt := 250 * time.Millisecond
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Step(dt)
+		cs.OnStep(n.Elapsed())
+	}
+}

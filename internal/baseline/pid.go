@@ -1,0 +1,135 @@
+package baseline
+
+import (
+	"fmt"
+	"time"
+
+	"thermctl/internal/core"
+)
+
+// PIDFanConfig parameterizes the PID comparison controller.
+type PIDFanConfig struct {
+	// SetpointC is the temperature the loop regulates to.
+	SetpointC float64
+	// Kp, Ki, Kd are the classic gains, in duty-percent per °C,
+	// per °C·s, and per °C/s respectively.
+	Kp, Ki, Kd float64
+	// DerivFilterTau low-pass filters the measurement before the
+	// derivative term, as any practical PID must with a noisy sensor.
+	DerivFilterTau time.Duration
+	// MinDuty and MaxDuty clamp the output (and bound the integral
+	// term, preventing windup).
+	MinDuty, MaxDuty float64
+	// SamplePeriod is the loop rate.
+	SamplePeriod time.Duration
+}
+
+// DefaultPIDFanConfig returns a competently tuned loop for this
+// plant: setpoint 50 °C, gains picked for modest overshoot on a
+// cpu-burn load step.
+func DefaultPIDFanConfig() PIDFanConfig {
+	return PIDFanConfig{
+		SetpointC:      50,
+		Kp:             8,
+		Ki:             0.35,
+		Kd:             12,
+		DerivFilterTau: 2 * time.Second,
+		MinDuty:        1,
+		MaxDuty:        100,
+		SamplePeriod:   250 * time.Millisecond,
+	}
+}
+
+// PIDFan is a textbook PID temperature→duty loop: the "formal control"
+// alternative the paper's related work surveys (Lefurgy et al., Wang
+// et al.). It regulates to a fixed setpoint — there is no policy
+// parameter, no history window, and no notion of behaviour types. The
+// ablation benches compare it against the paper's controller on
+// settling, steady temperature and actuator churn.
+type PIDFan struct {
+	cfg  PIDFanConfig
+	read core.TempReader
+	port core.FanPort
+
+	next     time.Duration
+	integ    float64
+	filtered float64
+	prevF    float64
+	primed   bool
+	errs     uint64
+	writes   uint64
+}
+
+// NewPIDFan builds the loop.
+func NewPIDFan(cfg PIDFanConfig, read core.TempReader, port core.FanPort) (*PIDFan, error) {
+	if read == nil || port == nil {
+		return nil, fmt.Errorf("baseline: pid needs a reader and a port")
+	}
+	if cfg.SamplePeriod <= 0 {
+		return nil, fmt.Errorf("baseline: pid: non-positive sample period")
+	}
+	if cfg.MaxDuty <= cfg.MinDuty {
+		return nil, fmt.Errorf("baseline: pid: empty duty range")
+	}
+	return &PIDFan{cfg: cfg, read: read, port: port, next: cfg.SamplePeriod}, nil
+}
+
+// Errors returns the failed read/actuation count.
+func (p *PIDFan) Errors() uint64 { return p.errs }
+
+// Writes returns the number of duty commands issued — the actuator
+// churn metric.
+func (p *PIDFan) Writes() uint64 { return p.writes }
+
+// OnStep implements the cluster Controller interface.
+func (p *PIDFan) OnStep(now time.Duration) {
+	if now < p.next {
+		return
+	}
+	p.next += p.cfg.SamplePeriod
+	t, err := p.read()
+	if err != nil {
+		p.errs++
+		return
+	}
+	dt := p.cfg.SamplePeriod.Seconds()
+
+	// Low-pass the measurement for the derivative path.
+	alpha := 1.0
+	if tau := p.cfg.DerivFilterTau.Seconds(); tau > 0 {
+		alpha = dt / (tau + dt)
+	}
+	if !p.primed {
+		p.filtered = t
+		p.prevF = t
+		p.primed = true
+	}
+	p.filtered += alpha * (t - p.filtered)
+
+	e := t - p.cfg.SetpointC
+	p.integ += e * dt
+	deriv := (p.filtered - p.prevF) / dt
+	p.prevF = p.filtered
+
+	out := p.cfg.Kp*e + p.cfg.Ki*p.integ + p.cfg.Kd*deriv
+
+	// Clamp with integral anti-windup: when saturated, freeze the
+	// integral at the value that keeps the output on the rail.
+	if out > p.cfg.MaxDuty {
+		if p.cfg.Ki > 0 {
+			p.integ -= (out - p.cfg.MaxDuty) / p.cfg.Ki
+		}
+		out = p.cfg.MaxDuty
+	}
+	if out < p.cfg.MinDuty {
+		if p.cfg.Ki > 0 {
+			p.integ += (p.cfg.MinDuty - out) / p.cfg.Ki
+		}
+		out = p.cfg.MinDuty
+	}
+	if err := p.port.SetDutyPercent(out); err != nil {
+		p.errs++
+		return
+	}
+	p.writes++
+}

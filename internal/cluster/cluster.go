@@ -1,0 +1,312 @@
+// Package cluster runs a set of simulated nodes in lock-step and
+// executes barrier-synchronized SPMD programs across them — the
+// four-node power-aware cluster of the paper's evaluation.
+//
+// During a program run, every process is in one of three phases per
+// iteration: computing (full utilization, progress proportional to its
+// own frequency), waiting at the barrier (near idle — a fast node blocks
+// in MPI_Wait while slower or down-clocked peers finish), or
+// communicating (fixed wall time, near idle). This is where DVFS
+// decisions become visible as execution time: down-clock one node and
+// every node's iteration stretches.
+//
+// Phase transitions are handled with sub-step precision — a process that
+// exhausts its compute work 12 ms into a 50 ms step spends the remaining
+// 38 ms at the barrier — so execution-time measurements are accurate to
+// well under one step per iteration. Only the barrier *release* is
+// evaluated at step boundaries, since it is a global decision.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"thermctl/internal/node"
+	"thermctl/internal/simclock"
+	"thermctl/internal/workload"
+)
+
+// DefaultDt is the simulation step used by the experiments: fine enough
+// that barrier-release quantization stays below ~3% of an iteration.
+const DefaultDt = 50 * time.Millisecond
+
+// Controller is anything that observes/actuates nodes periodically: fan
+// controllers, DVFS daemons, the unified controller. OnStep is called
+// once per simulation step after the node models have advanced;
+// implementations decide internally whether it is time to sample (e.g.
+// every 250 ms).
+type Controller interface {
+	OnStep(now time.Duration)
+}
+
+// ControllerFunc adapts a function to Controller.
+type ControllerFunc func(now time.Duration)
+
+// OnStep implements Controller.
+func (f ControllerFunc) OnStep(now time.Duration) { f(now) }
+
+// Cluster is a fixed set of nodes sharing a simulation clock.
+type Cluster struct {
+	Nodes []*node.Node
+	Clock *simclock.Clock
+
+	controllers []Controller
+	// WaitUtil is the utilization of a process blocked at a barrier: an
+	// MPI rank in a blocking wait is near idle but not at zero.
+	WaitUtil float64
+}
+
+// New builds a cluster of n default nodes stepping at dt. Node i is
+// named "node<i>" and seeded deterministically from seed.
+func New(n int, dt time.Duration, seed uint64) (*Cluster, error) {
+	c := &Cluster{Clock: simclock.NewClock(dt), WaitUtil: 0.06}
+	for i := 0; i < n; i++ {
+		nd, err := node.New(node.DefaultConfig(fmt.Sprintf("node%d", i), seed+uint64(i)*7919))
+		if err != nil {
+			return nil, err
+		}
+		c.Nodes = append(c.Nodes, nd)
+	}
+	return c, nil
+}
+
+// NewWithNodes builds a cluster from pre-constructed nodes (e.g. with
+// per-slot ambient offsets modelling rack hot spots), stepping at dt.
+func NewWithNodes(nodes []*node.Node, dt time.Duration) (*Cluster, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: no nodes")
+	}
+	return &Cluster{Clock: simclock.NewClock(dt), Nodes: nodes, WaitUtil: 0.06}, nil
+}
+
+// AddController registers a controller to be invoked every step.
+func (c *Cluster) AddController(ctl Controller) { c.controllers = append(c.controllers, ctl) }
+
+// Settle equilibrates every node at the given utilization.
+func (c *Cluster) Settle(util float64) {
+	for _, n := range c.Nodes {
+		n.Settle(util)
+	}
+}
+
+func (c *Cluster) tickControllers() {
+	c.Clock.Step()
+	now := c.Clock.Now()
+	for _, ctl := range c.controllers {
+		ctl.OnStep(now)
+	}
+}
+
+// Step advances every node and then the controllers by one clock step.
+func (c *Cluster) Step() {
+	dt := c.Clock.Dt()
+	for _, n := range c.Nodes {
+		n.Step(dt)
+	}
+	c.tickControllers()
+}
+
+// RunGenerator attaches g to every node and steps for d.
+func (c *Cluster) RunGenerator(g workload.Generator, d time.Duration) {
+	for _, n := range c.Nodes {
+		n.SetGenerator(g)
+	}
+	deadline := c.Clock.Now() + d
+	for c.Clock.Now() < deadline {
+		c.Step()
+	}
+}
+
+// phase of one SPMD process within the current iteration.
+type phase int
+
+const (
+	phaseCompute phase = iota
+	phaseMem
+	phaseBarrier
+	phaseComm
+	phaseDone
+)
+
+type procState struct {
+	iter     int
+	ph       phase
+	workLeft float64       // giga-cycles remaining in this iteration's compute
+	memLeft  time.Duration // memory-stall time remaining (busy, non-scaling)
+	commLeft time.Duration
+}
+
+// RunResult summarizes one program execution.
+type RunResult struct {
+	// Program is the executed program's name.
+	Program string
+	// ExecTime is the wall (simulated) time from start to the last
+	// process finishing.
+	ExecTime time.Duration
+	// TimedOut reports whether the run hit maxTime before completion.
+	TimedOut bool
+}
+
+// RunProgram executes prog SPMD across all nodes with barrier
+// synchronization, stepping controllers throughout, and returns the
+// execution time. maxTime bounds the run (0 means 10× the ideal time at
+// the lowest frequency).
+func (c *Cluster) RunProgram(prog workload.Program, maxTime time.Duration) RunResult {
+	if len(prog.Iters) == 0 || len(c.Nodes) == 0 {
+		return RunResult{Program: prog.Name}
+	}
+	if maxTime <= 0 {
+		tab := c.Nodes[0].CPU.Table()
+		slowest := tab[len(tab)-1].FreqGHz
+		maxTime = time.Duration(10 * prog.IdealSeconds(slowest) * float64(time.Second))
+	}
+
+	states := make([]procState, len(c.Nodes))
+	for i := range states {
+		states[i] = procState{
+			workLeft: prog.Iters[0].ComputeGC,
+			memLeft:  durSec(prog.Iters[0].MemSec),
+		}
+	}
+	for _, n := range c.Nodes {
+		n.SetGenerator(nil)
+	}
+
+	start := c.Clock.Now()
+	dt := c.Clock.Dt()
+	for {
+		allDone := true
+		for i := range states {
+			if states[i].ph != phaseDone {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			return RunResult{Program: prog.Name, ExecTime: c.Clock.Now() - start}
+		}
+		if c.Clock.Now()-start >= maxTime {
+			return RunResult{Program: prog.Name, ExecTime: c.Clock.Now() - start, TimedOut: true}
+		}
+
+		for i, n := range c.Nodes {
+			c.advanceProc(n, &states[i], prog, dt)
+		}
+		c.releaseBarrier(states, prog)
+		c.tickControllers()
+	}
+}
+
+// advanceProc steps one node through dt of simulated time, handling
+// phase transitions at sub-step precision.
+func (c *Cluster) advanceProc(n *node.Node, st *procState, prog workload.Program, dt time.Duration) {
+	remaining := dt
+	for remaining >= time.Nanosecond {
+		switch st.ph {
+		case phaseBarrier, phaseDone:
+			n.SetUtilization(c.WaitUtil)
+			n.Step(remaining)
+			remaining = 0
+
+		case phaseCompute:
+			it := prog.Iters[st.iter]
+			rate := n.CPU.FreqGHz() * it.ComputeUtil // GC per second
+			if rate <= 0 {
+				// A zero-utilization "compute" phase never finishes by
+				// retiring work; treat it as already complete.
+				st.ph = phaseMem
+				continue
+			}
+			need := time.Duration(st.workLeft / rate * float64(time.Second))
+			slice := remaining
+			if need < slice {
+				slice = need
+			}
+			if slice < time.Nanosecond {
+				st.workLeft = 0
+				st.ph = phaseMem
+				continue
+			}
+			n.SetUtilization(it.ComputeUtil)
+			st.workLeft -= n.Step(slice)
+			remaining -= slice
+			if st.workLeft <= 1e-9 {
+				st.ph = phaseMem
+			}
+
+		case phaseMem:
+			// Memory-stall time: the core is busy (full utilization and
+			// power) but progress is DRAM-bound and does not scale with
+			// the clock.
+			it := prog.Iters[st.iter]
+			slice := remaining
+			if st.memLeft < slice {
+				slice = st.memLeft
+			}
+			if slice >= time.Nanosecond {
+				n.SetUtilization(it.ComputeUtil)
+				n.Step(slice)
+			}
+			st.memLeft -= slice
+			remaining -= slice
+			if st.memLeft < time.Nanosecond {
+				st.ph = phaseBarrier
+			}
+
+		case phaseComm:
+			it := prog.Iters[st.iter]
+			slice := remaining
+			if st.commLeft < slice {
+				slice = st.commLeft
+			}
+			if slice >= time.Nanosecond {
+				n.SetUtilization(it.CommUtil)
+				n.Step(slice)
+			}
+			st.commLeft -= slice
+			remaining -= slice
+			if st.commLeft < time.Nanosecond {
+				st.iter++
+				if st.iter >= len(prog.Iters) {
+					st.ph = phaseDone
+				} else {
+					st.ph = phaseCompute
+					st.workLeft = prog.Iters[st.iter].ComputeGC
+					st.memLeft = durSec(prog.Iters[st.iter].MemSec)
+				}
+			}
+		}
+	}
+}
+
+// releaseBarrier moves every process into the communication phase once
+// all processes of the current iteration have arrived.
+func (c *Cluster) releaseBarrier(states []procState, prog workload.Program) {
+	iter := -1
+	for i := range states {
+		st := &states[i]
+		if st.ph == phaseDone {
+			continue
+		}
+		if iter == -1 {
+			iter = st.iter
+		}
+		if st.ph != phaseBarrier || st.iter != iter {
+			return
+		}
+	}
+	if iter < 0 {
+		return
+	}
+	for i := range states {
+		st := &states[i]
+		if st.ph == phaseBarrier {
+			st.ph = phaseComm
+			st.commLeft = durSec(prog.Iters[st.iter].CommSec)
+		}
+	}
+}
+
+func durSec(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}

@@ -1,0 +1,302 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"thermctl/internal/core/ctlarray"
+	"thermctl/internal/core/window"
+)
+
+// Config parameterizes the unified controller.
+type Config struct {
+	// Pp is the user policy parameter in [1, 100]: small = aggressive
+	// temperature-oriented control, large = conservative cost-oriented
+	// control.
+	Pp int
+	// TminC and TmaxC bound the safe operating temperature range used
+	// in the index-update coefficient c = (N-1)/(Tmax-Tmin). The
+	// paper's platform uses 38 and 82 °C.
+	TminC, TmaxC float64
+	// SamplePeriod is the temperature sampling interval (paper: 250 ms,
+	// i.e. four samples per second).
+	SamplePeriod time.Duration
+	// Window sizes the two-level history (defaults: 4 and 5).
+	Window window.Config
+	// MaxLeadC bounds how far (in °C-equivalent cells) the integrated
+	// index may run ahead of or behind the absolute-temperature anchor
+	// c·(T−Tmin). The index update is an integrator: on a large load
+	// step the temperature keeps rising for tens of seconds after each
+	// duty increase (the heatsink is slow), so pure integration winds
+	// the index to the array's end and pins the fan at maximum. The
+	// lead band keeps the controller proactive — it may run MaxLeadC
+	// degrees ahead of the static map — without unbounded windup.
+	// Default 7 °C.
+	MaxLeadC float64
+}
+
+// DefaultConfig returns the paper's controller parameters with the
+// given policy.
+func DefaultConfig(pp int) Config {
+	return Config{
+		Pp:           pp,
+		TminC:        38,
+		TmaxC:        82,
+		SamplePeriod: 250 * time.Millisecond,
+		Window:       window.Default(),
+		MaxLeadC:     7,
+	}
+}
+
+// boundActuator is one actuator bound to its control array and index.
+type boundActuator struct {
+	act   Actuator
+	arr   *ctlarray.Array
+	coef  float64 // c = (N-1)/(Tmax-Tmin)
+	idx   int
+	moves uint64
+	// l2Cooldown throttles level-two (gradual) corrections so a
+	// sustained drift is not integrated once per round across the whole
+	// FIFO span.
+	l2Cooldown int
+}
+
+// Controller is the unified dynamic thermal controller of §3.2: one
+// temperature stream, one two-level history window, one policy
+// parameter, any number of actuators. It implements the cluster
+// Controller interface via OnStep.
+type Controller struct {
+	cfg       Config
+	read      TempReader
+	win       *window.Window
+	acts      []*boundActuator
+	next      time.Duration
+	errs      uint64
+	anchor    bool
+	holdFloor bool
+}
+
+// ActuatorBinding attaches an actuator with an explicit array bound N;
+// N = 0 picks a default (NumModes for rich mode sets, 2×NumModes for
+// sparse ones, so index arithmetic has resolution).
+type ActuatorBinding struct {
+	Actuator Actuator
+	N        int
+}
+
+// NewController builds a controller over the given actuators.
+func NewController(cfg Config, read TempReader, bindings ...ActuatorBinding) (*Controller, error) {
+	if cfg.TmaxC <= cfg.TminC {
+		return nil, fmt.Errorf("core: Tmax %v must exceed Tmin %v", cfg.TmaxC, cfg.TminC)
+	}
+	if cfg.SamplePeriod <= 0 {
+		return nil, fmt.Errorf("core: non-positive sample period")
+	}
+	if cfg.Window.L1Size == 0 {
+		cfg.Window = window.Default()
+	}
+	if cfg.MaxLeadC == 0 {
+		cfg.MaxLeadC = 7
+	}
+	if read == nil {
+		return nil, fmt.Errorf("core: nil temperature reader")
+	}
+	if len(bindings) == 0 {
+		return nil, fmt.Errorf("core: controller needs at least one actuator")
+	}
+	c := &Controller{
+		cfg:  cfg,
+		read: read,
+		win:  window.New(cfg.Window),
+		next: cfg.SamplePeriod,
+	}
+	for _, b := range bindings {
+		m := b.Actuator.NumModes()
+		n := b.N
+		if n == 0 {
+			n = m
+			if n < 10 {
+				n = 2 * m
+			}
+		}
+		arr, err := ctlarray.New(n, m, cfg.Pp)
+		if err != nil {
+			return nil, err
+		}
+		c.acts = append(c.acts, &boundActuator{
+			act:  b.Actuator,
+			arr:  arr,
+			coef: float64(n-1) / (cfg.TmaxC - cfg.TminC),
+		})
+	}
+	return c, nil
+}
+
+// Window exposes the controller's history window (read-only use:
+// classification, diagnostics).
+func (c *Controller) Window() *window.Window { return c.win }
+
+// Errors returns the count of failed sensor reads or actuations.
+func (c *Controller) Errors() uint64 { return c.errs }
+
+// Moves returns the number of mode changes applied to actuator i.
+func (c *Controller) Moves(i int) uint64 { return c.acts[i].moves }
+
+// Index returns the current control-array index of actuator i.
+func (c *Controller) Index(i int) int { return c.acts[i].idx }
+
+// ActuatorStatus is one actuator's view in a Status snapshot.
+type ActuatorStatus struct {
+	// Name is the actuator's identifier.
+	Name string
+	// Index is the current control-array cell index.
+	Index int
+	// Mode is the physical mode the index selects.
+	Mode int
+	// Moves counts applied mode changes.
+	Moves uint64
+}
+
+// Status is a point-in-time observability snapshot of the controller.
+type Status struct {
+	// Pp is the active policy.
+	Pp int
+	// AvgC is the latest round-average temperature (NaN before the
+	// first round).
+	AvgC float64
+	// DeltaL1 and DeltaL2 are the window's current short/long-horizon
+	// variations.
+	DeltaL1, DeltaL2 float64
+	// Behavior classifies the last round.
+	Behavior string
+	// HoldFloor reports whether downward moves are being suppressed.
+	HoldFloor bool
+	// Errors is the cumulative error count.
+	Errors uint64
+	// Actuators lists per-actuator state.
+	Actuators []ActuatorStatus
+}
+
+// Status returns an observability snapshot, for daemons' status
+// endpoints and logs.
+func (c *Controller) Status() Status {
+	st := Status{
+		Pp:        c.cfg.Pp,
+		AvgC:      c.win.Avg(),
+		DeltaL1:   c.win.DeltaL1(),
+		DeltaL2:   c.win.DeltaL2(),
+		Behavior:  c.win.Classify(window.DefaultClassify()).String(),
+		HoldFloor: c.holdFloor,
+		Errors:    c.errs,
+	}
+	for _, ba := range c.acts {
+		st.Actuators = append(st.Actuators, ActuatorStatus{
+			Name:  ba.act.Name(),
+			Index: ba.idx,
+			Mode:  ba.arr.Mode(ba.idx),
+			Moves: ba.moves,
+		})
+	}
+	return st
+}
+
+// String renders the snapshot as a single log line.
+func (s Status) String() string {
+	out := fmt.Sprintf("pp=%d avg=%.2fC dL1=%.2f dL2=%.2f behavior=%s hold=%v errs=%d",
+		s.Pp, s.AvgC, s.DeltaL1, s.DeltaL2, s.Behavior, s.HoldFloor, s.Errors)
+	for _, a := range s.Actuators {
+		out += fmt.Sprintf(" %s[idx=%d mode=%d moves=%d]", a.Name, a.Index, a.Mode, a.Moves)
+	}
+	return out
+}
+
+// SetHoldFloor, while set, blocks index *decreases* (cooling
+// reductions); increases stay allowed. The Hybrid coordinator uses it
+// to stop the out-of-band knob from relaxing while the in-band knob is
+// engaged.
+func (c *Controller) SetHoldFloor(hold bool) { c.holdFloor = hold }
+
+// OnStep samples and, on each completed window round, updates every
+// actuator. Call it once per simulation step with the current time.
+func (c *Controller) OnStep(now time.Duration) {
+	if now < c.next {
+		return
+	}
+	c.next += c.cfg.SamplePeriod
+	t, err := c.read()
+	if err != nil {
+		c.errs++
+		return
+	}
+	if !c.win.Add(t) {
+		return
+	}
+	if !c.anchor {
+		// First completed round: anchor each actuator's index to the
+		// absolute temperature so a controller started on an already
+		// hot machine begins from a proportionate mode.
+		c.anchor = true
+		avg := c.win.Avg()
+		for _, ba := range c.acts {
+			ba.idx = ba.arr.Clamp(int(math.Round(ba.coef * (avg - c.cfg.TminC))))
+			c.apply(ba)
+		}
+		return
+	}
+	for _, ba := range c.acts {
+		c.decide(ba)
+	}
+}
+
+// decide performs the paper's index update for one actuator: try
+// i + c·Δt_L1; if that does not change the index, try i + c·Δt_L2
+// (throttled to once per FIFO span so sustained drift is not multiply
+// counted). The result is then held inside the anti-windup lead band
+// around the absolute anchor c·(T−Tmin).
+func (c *Controller) decide(ba *boundActuator) {
+	if ba.l2Cooldown > 0 {
+		ba.l2Cooldown--
+	}
+	di := int(math.Round(ba.coef * c.win.DeltaL1()))
+	usedL2 := false
+	if di == 0 && ba.l2Cooldown == 0 && c.win.L2Full() {
+		di = int(math.Round(ba.coef * c.win.DeltaL2()))
+		usedL2 = di != 0
+	}
+	if di < 0 && c.holdFloor {
+		di = 0
+	}
+	target := ba.idx + di
+
+	// Anti-windup: the index may lead the static anchor by at most
+	// MaxLeadC degrees (proactivity) and must not lag it by more
+	// (reactivity floor). Downward corrections are suppressed while
+	// the hybrid holds the fan floor.
+	center := ba.coef * (c.win.Avg() - c.cfg.TminC)
+	lead := ba.coef * c.cfg.MaxLeadC
+	if hi := int(math.Floor(center + lead)); target > hi && !(c.holdFloor && hi < ba.idx) {
+		target = hi
+	}
+	if lo := int(math.Ceil(center - lead)); target < lo {
+		target = lo
+	}
+
+	target = ba.arr.Clamp(target)
+	if target == ba.idx {
+		return
+	}
+	ba.idx = target
+	if usedL2 {
+		ba.l2Cooldown = c.cfg.Window.L2Size
+	}
+	c.apply(ba)
+}
+
+func (c *Controller) apply(ba *boundActuator) {
+	if err := ba.act.Apply(ba.arr.Mode(ba.idx)); err != nil {
+		c.errs++
+		return
+	}
+	ba.moves++
+}

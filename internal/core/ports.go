@@ -1,0 +1,287 @@
+// Package core implements the paper's contribution: system-level,
+// unified in-band and out-of-band dynamic thermal control.
+//
+// The pieces map onto the paper's §3 as follows:
+//
+//   - the two-level temperature history lives in core/window;
+//   - the thermal control array and its Pp-driven fill in core/ctlarray;
+//   - this package supplies the Actuator abstraction that unifies the
+//     techniques (fan duty over sysfs or IPMI, DVFS over cpufreq), the
+//     Controller that drives any set of actuators from one temperature
+//     stream and one policy parameter, and the TDVFS daemon
+//     (threshold-gated frequency scaling, §4.3).
+//
+// Controllers touch the hardware only through small port interfaces
+// (TempReader, FanPort, FreqPort), each with an in-band (virtual sysfs)
+// and an out-of-band (IPMI) implementation, so the same control law runs
+// over either path — the unification the paper's title claims.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"thermctl/internal/cpufreq"
+	"thermctl/internal/hwmon"
+	"thermctl/internal/ipmi"
+)
+
+// TempReader returns one temperature sample in °C.
+type TempReader func() (float64, error)
+
+// SysfsTemp reads an hwmon temp*_input attribute (millidegrees) —
+// the in-band path, equivalent to lm-sensors.
+func SysfsTemp(fs *hwmon.FS, path string) TempReader {
+	return func() (float64, error) {
+		v, err := fs.ReadInt(path)
+		if err != nil {
+			return 0, err
+		}
+		return float64(v) / 1000, nil
+	}
+}
+
+// IPMITemp reads a BMC sensor — the out-of-band path.
+func IPMITemp(c *ipmi.Client, sensorNum uint8) TempReader {
+	return func() (float64, error) { return c.ReadSensor(sensorNum) }
+}
+
+// FanPort commands a fan's PWM duty in percent.
+type FanPort interface {
+	SetDutyPercent(p float64) error
+	DutyPercent() (float64, error)
+}
+
+// SysfsFanPort drives pwm1 through the virtual sysfs (in-band). It
+// flips pwm1_enable to manual on first use.
+type SysfsFanPort struct {
+	FS   *hwmon.FS
+	Chip hwmon.Chip
+
+	armed bool
+}
+
+// SetDutyPercent implements FanPort.
+func (p *SysfsFanPort) SetDutyPercent(d float64) error {
+	if !p.armed {
+		if err := p.FS.WriteInt(p.Chip.PWMEnable, hwmon.PWMEnableManual); err != nil {
+			return err
+		}
+		p.armed = true
+	}
+	return p.FS.WriteInt(p.Chip.PWM, dutyToPWMReg(d))
+}
+
+// DutyPercent implements FanPort.
+func (p *SysfsFanPort) DutyPercent() (float64, error) {
+	v, err := p.FS.ReadInt(p.Chip.PWM)
+	if err != nil {
+		return 0, err
+	}
+	return float64(v) * 100 / 255, nil
+}
+
+func dutyToPWMReg(d float64) int64 {
+	if d <= 0 {
+		return 0
+	}
+	if d >= 100 {
+		return 255
+	}
+	return int64(math.Round(d * 255 / 100))
+}
+
+// IPMIFanPort drives the fan through the BMC (out-of-band). It switches
+// the BMC to manual fan mode on first use.
+type IPMIFanPort struct {
+	C *ipmi.Client
+
+	armed bool
+}
+
+// SetDutyPercent implements FanPort.
+func (p *IPMIFanPort) SetDutyPercent(d float64) error {
+	if !p.armed {
+		if err := p.C.SetFanManual(true); err != nil {
+			return err
+		}
+		p.armed = true
+	}
+	return p.C.SetFanDuty(d)
+}
+
+// DutyPercent implements FanPort.
+func (p *IPMIFanPort) DutyPercent() (float64, error) { return p.C.FanDuty() }
+
+// FreqPort commands a CPU frequency in kHz.
+type FreqPort interface {
+	AvailableKHz() ([]int64, error)
+	SetKHz(f int64) error
+	CurrentKHz() (int64, error)
+}
+
+// SysfsFreqPort drives cpufreq through the virtual sysfs.
+type SysfsFreqPort struct {
+	FS    *hwmon.FS
+	Paths cpufreq.Paths
+}
+
+// AvailableKHz implements FreqPort.
+func (p *SysfsFreqPort) AvailableKHz() ([]int64, error) {
+	body, err := p.FS.ReadFile(p.Paths.AvailableFreqs)
+	if err != nil {
+		return nil, err
+	}
+	return cpufreq.ParseAvailable(body)
+}
+
+// SetKHz implements FreqPort.
+func (p *SysfsFreqPort) SetKHz(f int64) error {
+	return p.FS.WriteInt(p.Paths.SetSpeed, f)
+}
+
+// CurrentKHz implements FreqPort.
+func (p *SysfsFreqPort) CurrentKHz() (int64, error) {
+	return p.FS.ReadInt(p.Paths.CurFreq)
+}
+
+// Actuator is one thermal control technique unified under the control
+// array: physical modes 0..NumModes()-1 in ascending order of
+// temperature-control effectiveness.
+type Actuator interface {
+	// Name identifies the technique in logs ("fan", "dvfs").
+	Name() string
+	// NumModes returns the count of physically available modes.
+	NumModes() int
+	// Apply actuates physical mode m (clamped by the caller).
+	Apply(m int) error
+	// Current returns the mode closest to the device's present state.
+	Current() (int, error)
+}
+
+// FanActuator discretizes a fan's continuous duty range into modes, as
+// the paper's driver discretizes its fan into 100 distinct speeds. Mode
+// 0 is MinDuty (least effective), mode NumModes-1 is MaxDuty.
+type FanActuator struct {
+	Port    FanPort
+	Modes   int     // number of discrete speeds (paper: 100)
+	MinDuty float64 // duty at mode 0, percent (paper: 1%)
+	MaxDuty float64 // duty at the top mode — the experiment's max-PWM cap
+}
+
+// NewFanActuator returns a fan actuator with the paper's defaults:
+// 100 modes from 1% up to maxDuty.
+func NewFanActuator(port FanPort, maxDuty float64) *FanActuator {
+	return &FanActuator{Port: port, Modes: 100, MinDuty: 1, MaxDuty: maxDuty}
+}
+
+// Name implements Actuator.
+func (f *FanActuator) Name() string { return "fan" }
+
+// NumModes implements Actuator.
+func (f *FanActuator) NumModes() int { return f.Modes }
+
+// DutyForMode returns the duty in percent commanded by mode m.
+func (f *FanActuator) DutyForMode(m int) float64 {
+	if f.Modes <= 1 {
+		return f.MaxDuty
+	}
+	if m < 0 {
+		m = 0
+	}
+	if m >= f.Modes {
+		m = f.Modes - 1
+	}
+	return f.MinDuty + float64(m)*(f.MaxDuty-f.MinDuty)/float64(f.Modes-1)
+}
+
+// Apply implements Actuator.
+func (f *FanActuator) Apply(m int) error {
+	return f.Port.SetDutyPercent(f.DutyForMode(m))
+}
+
+// Current implements Actuator.
+func (f *FanActuator) Current() (int, error) {
+	d, err := f.Port.DutyPercent()
+	if err != nil {
+		return 0, err
+	}
+	if f.Modes <= 1 || f.MaxDuty <= f.MinDuty {
+		return 0, nil
+	}
+	m := int(math.Round((d - f.MinDuty) / (f.MaxDuty - f.MinDuty) * float64(f.Modes-1)))
+	if m < 0 {
+		m = 0
+	}
+	if m >= f.Modes {
+		m = f.Modes - 1
+	}
+	return m, nil
+}
+
+// DVFSActuator exposes the P-state table as modes: mode 0 is the
+// highest frequency (least effective at cooling), the last mode the
+// lowest frequency.
+type DVFSActuator struct {
+	Port  FreqPort
+	freqs []int64 // descending kHz
+}
+
+// NewDVFSActuator probes the port's frequency table.
+func NewDVFSActuator(port FreqPort) (*DVFSActuator, error) {
+	freqs, err := port.AvailableKHz()
+	if err != nil {
+		return nil, fmt.Errorf("core: dvfs actuator: %w", err)
+	}
+	if len(freqs) == 0 {
+		return nil, fmt.Errorf("core: dvfs actuator: empty frequency table")
+	}
+	return &DVFSActuator{Port: port, freqs: freqs}, nil
+}
+
+// Name implements Actuator.
+func (d *DVFSActuator) Name() string { return "dvfs" }
+
+// NumModes implements Actuator.
+func (d *DVFSActuator) NumModes() int { return len(d.freqs) }
+
+// FreqForMode returns the frequency (kHz) of mode m, clamped.
+func (d *DVFSActuator) FreqForMode(m int) int64 {
+	if m < 0 {
+		m = 0
+	}
+	if m >= len(d.freqs) {
+		m = len(d.freqs) - 1
+	}
+	return d.freqs[m]
+}
+
+// Apply implements Actuator.
+func (d *DVFSActuator) Apply(m int) error {
+	return d.Port.SetKHz(d.FreqForMode(m))
+}
+
+// Current implements Actuator.
+func (d *DVFSActuator) Current() (int, error) {
+	cur, err := d.Port.CurrentKHz()
+	if err != nil {
+		return 0, err
+	}
+	for i, f := range d.freqs {
+		if f == cur {
+			return i, nil
+		}
+	}
+	// Unknown frequency: report the nearest mode.
+	best, bestDiff := 0, int64(math.MaxInt64)
+	for i, f := range d.freqs {
+		diff := f - cur
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff < bestDiff {
+			best, bestDiff = i, diff
+		}
+	}
+	return best, nil
+}

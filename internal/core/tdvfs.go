@@ -1,0 +1,226 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"thermctl/internal/core/ctlarray"
+	"thermctl/internal/core/window"
+)
+
+// TDVFSConfig parameterizes the temperature-aware DVFS daemon of §4.3.
+type TDVFSConfig struct {
+	// Pp is the policy parameter; it shapes the DVFS control array and
+	// therefore how far one scale-down jumps (Pp=50 steps 2.4→2.2 GHz;
+	// Pp=25 jumps 2.4→2.0 GHz, as in the paper's Figure 10).
+	Pp int
+	// ThresholdC is the trigger temperature (paper: 51 °C). The daemon
+	// scales down only while the average temperature is consistently
+	// above it, and restores the nominal frequency once consistently
+	// below.
+	ThresholdC float64
+	// HysteresisC widens the restore condition: scale back up only when
+	// consistently below ThresholdC - HysteresisC. It must exceed the
+	// temperature drop produced by one scale-down step, or the daemon
+	// limit-cycles on a sustained hot workload (down, cool slightly,
+	// restore, reheat, down, ...) — exactly the transition churn tDVFS
+	// exists to avoid. On this platform one P-state step is worth
+	// ≈2.5 °C, so the default is 3 °C.
+	HysteresisC float64
+	// SamplePeriod is the temperature sampling interval (250 ms).
+	SamplePeriod time.Duration
+	// Window sizes the history. "Consistently" means every entry of
+	// the full level-two FIFO is on one side of the threshold, i.e.
+	// L2Size consecutive seconds. tDVFS uses a deeper FIFO than the
+	// fan controller (10 rounds vs 5): an in-band action is expensive,
+	// so the evidence bar is higher — sensor noise hovering at the
+	// threshold must not trigger a frequency change.
+	Window window.Config
+	// N is the control-array bound (default 10 over the 5 P-states).
+	N int
+	// CooldownRounds is the minimum number of window rounds between
+	// two frequency changes, letting the thermal response develop
+	// before judging again (default: 2×L2Size).
+	CooldownRounds int
+	// TrendEpsilonC makes the scale-down decision context-aware: a
+	// down-step is taken only when the level-two trend Δt_L2 exceeds
+	// +TrendEpsilonC, i.e. the temperature is above threshold *and
+	// still rising*. This is the reading of the paper's "only when
+	// average temperature is stabilized above the threshold" that its
+	// Figure 9 demonstrates: tDVFS stops at 2.0 GHz with the die steady
+	// near 55 °C — above the threshold — and makes no further changes.
+	// The goal is stopping the rise (preventing the emergency), not
+	// forcing the die under the trigger value at any performance cost.
+	// Default 0.35 °C — above the sensor-noise floor of the round
+	// averages and above the asymptotic tail of an equilibrium
+	// approach, so the daemon stops once the rise has effectively
+	// flattened.
+	TrendEpsilonC float64
+	// EmergencyMarginC is the backstop: if the average is consistently
+	// above ThresholdC+EmergencyMarginC, scale down regardless of
+	// trend — a creeping rise too slow for trend detection must not
+	// reach the hardware's thermal-throttle point. Default 8 °C.
+	EmergencyMarginC float64
+}
+
+// DefaultTDVFSConfig returns the paper's tDVFS parameters.
+func DefaultTDVFSConfig(pp int) TDVFSConfig {
+	return TDVFSConfig{
+		Pp:               pp,
+		ThresholdC:       51,
+		HysteresisC:      3.0,
+		SamplePeriod:     250 * time.Millisecond,
+		Window:           window.Config{L1Size: 4, L2Size: 10},
+		N:                10,
+		TrendEpsilonC:    0.35,
+		EmergencyMarginC: 8,
+	}
+}
+
+// TDVFS is the temperature-aware DVFS daemon. Unlike the continuous fan
+// controller, it is threshold-gated: frequency is not touched at all
+// until heat demonstrably exceeds what the fan can remove, minimizing
+// the in-band technique's performance cost.
+type TDVFS struct {
+	cfg  TDVFSConfig
+	read TempReader
+	act  *DVFSActuator
+	arr  *ctlarray.Array
+	win  *window.Window
+
+	curMode  int // physical mode currently applied (0 = nominal frequency)
+	next     time.Duration
+	cooldown int
+	errs     uint64
+	downs    uint64
+	ups      uint64
+
+	// trigger bookkeeping for the experiments: when the first
+	// scale-down happened.
+	firstDownAt time.Duration
+	triggered   bool
+}
+
+// NewTDVFS builds the daemon over a DVFS actuator.
+func NewTDVFS(cfg TDVFSConfig, read TempReader, act *DVFSActuator) (*TDVFS, error) {
+	if read == nil || act == nil {
+		return nil, fmt.Errorf("core: tdvfs needs a reader and an actuator")
+	}
+	if cfg.SamplePeriod <= 0 {
+		return nil, fmt.Errorf("core: tdvfs: non-positive sample period")
+	}
+	if cfg.Window.L1Size == 0 {
+		cfg.Window = window.Default()
+	}
+	if cfg.N == 0 {
+		cfg.N = 10
+	}
+	if cfg.CooldownRounds == 0 {
+		cfg.CooldownRounds = 2 * cfg.Window.L2Size
+	}
+	if cfg.TrendEpsilonC == 0 {
+		cfg.TrendEpsilonC = 0.35
+	}
+	if cfg.EmergencyMarginC == 0 {
+		cfg.EmergencyMarginC = 8
+	}
+	arr, err := ctlarray.New(cfg.N, act.NumModes(), cfg.Pp)
+	if err != nil {
+		return nil, err
+	}
+	return &TDVFS{
+		cfg:  cfg,
+		read: read,
+		act:  act,
+		arr:  arr,
+		win:  window.New(cfg.Window),
+		next: cfg.SamplePeriod,
+	}, nil
+}
+
+// Downscales returns the number of scale-down decisions taken.
+func (d *TDVFS) Downscales() uint64 { return d.downs }
+
+// Upscales returns the number of restore decisions taken.
+func (d *TDVFS) Upscales() uint64 { return d.ups }
+
+// Errors returns the count of failed reads or actuations.
+func (d *TDVFS) Errors() uint64 { return d.errs }
+
+// TriggeredAt returns when the first scale-down happened and whether
+// one happened at all — the coordination observable of Figure 10.
+func (d *TDVFS) TriggeredAt() (time.Duration, bool) { return d.firstDownAt, d.triggered }
+
+// CurrentMode returns the physical mode currently applied (0 is the
+// nominal frequency).
+func (d *TDVFS) CurrentMode() int { return d.curMode }
+
+// Engaged reports whether the daemon is holding the CPU below its
+// nominal frequency.
+func (d *TDVFS) Engaged() bool { return d.curMode > 0 }
+
+// OnStep samples and decides. Implements the cluster Controller
+// interface.
+func (d *TDVFS) OnStep(now time.Duration) {
+	if now < d.next {
+		return
+	}
+	d.next += d.cfg.SamplePeriod
+	t, err := d.read()
+	if err != nil {
+		d.errs++
+		return
+	}
+	if !d.win.Add(t) {
+		return
+	}
+	if d.cooldown > 0 {
+		d.cooldown--
+		return
+	}
+
+	rising := d.win.DeltaL2() > d.cfg.TrendEpsilonC
+	emergency := d.win.AllL2Above(d.cfg.ThresholdC + d.cfg.EmergencyMarginC)
+	switch {
+	case (d.win.AllL2Above(d.cfg.ThresholdC) && rising) || emergency:
+		// Average temperature consistently above threshold: move to the
+		// least-effective array mode that still exceeds the current
+		// one. How far that jumps is exactly what Pp encodes: at Pp=50
+		// the array holds every P-state, so this is one step
+		// (2.4→2.2 GHz); at Pp=25 the array skips states, jumping
+		// 2.4→2.0 GHz (the paper's Figure 10 markers).
+		next := -1
+		for i := 0; i < d.arr.Len(); i++ {
+			if m := d.arr.Mode(i); m > d.curMode {
+				next = m
+				break
+			}
+		}
+		if next < 0 {
+			return // already at the most effective mode
+		}
+		if err := d.act.Apply(next); err != nil {
+			d.errs++
+			return
+		}
+		d.curMode = next
+		d.downs++
+		if !d.triggered {
+			d.triggered = true
+			d.firstDownAt = now
+		}
+		d.cooldown = d.cfg.CooldownRounds
+
+	case d.curMode > 0 && d.win.AllL2Below(d.cfg.ThresholdC-d.cfg.HysteresisC):
+		// Consistently below threshold: restore the original (nominal)
+		// frequency directly, as the paper's Figures 8 and 10 show
+		// (2.2→2.4 and 2.0→2.4 in one step).
+		if err := d.act.Apply(0); err != nil {
+			d.errs++
+			return
+		}
+		d.curMode = 0
+		d.ups++
+		d.cooldown = d.cfg.CooldownRounds
+	}
+}

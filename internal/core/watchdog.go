@@ -1,0 +1,133 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// WatchdogConfig parameterizes the fan-failure watchdog.
+type WatchdogConfig struct {
+	// SamplePeriod is how often the tach is polled (default 1 s).
+	SamplePeriod time.Duration
+	// StallRPM is the reading at or below which the fan counts as not
+	// spinning (default 100 RPM — tachometers read ~0 on a seized
+	// rotor).
+	StallRPM float64
+	// StallSamples is how many consecutive stalled readings declare a
+	// failure (default 3; a fan takes ~1 s to spin up from rest, so a
+	// single zero can be a restart, not a failure).
+	StallSamples int
+	// RecoverSamples is how many consecutive healthy readings end the
+	// emergency (default 5).
+	RecoverSamples int
+}
+
+// DefaultWatchdogConfig returns the default thresholds.
+func DefaultWatchdogConfig() WatchdogConfig {
+	return WatchdogConfig{
+		SamplePeriod:   time.Second,
+		StallRPM:       100,
+		StallSamples:   3,
+		RecoverSamples: 5,
+	}
+}
+
+// RPMReader supplies the fan speed (e.g. the hwmon fan1_input file or
+// an IPMI fan sensor).
+type RPMReader func() (float64, error)
+
+// WatchdogEvent records one state change.
+type WatchdogEvent struct {
+	At      time.Duration
+	Failure bool // true = failure declared, false = recovery
+}
+
+// Watchdog detects a seized CPU fan from its tachometer and responds
+// in-band *immediately* — it forces the most effective DVFS mode the
+// moment the rotor is confirmed stopped, instead of waiting for the die
+// to heat through a temperature threshold. This is the fault-driven
+// counterpart of tDVFS (the paper's related work, Choi et al., pairs
+// DVFS with fan failure exactly this way): on a dead fan, every second
+// at full power costs ~1 °C, so reacting to the cause beats reacting to
+// the symptom. When the fan recovers, the nominal frequency is
+// restored.
+type Watchdog struct {
+	cfg  WatchdogConfig
+	rpm  RPMReader
+	act  *DVFSActuator
+	next time.Duration
+
+	stalled   int
+	healthy   int
+	emergency bool
+	events    []WatchdogEvent
+	errs      uint64
+}
+
+// NewWatchdog builds the watchdog over a tach reader and the DVFS
+// actuator it commands during an emergency.
+func NewWatchdog(cfg WatchdogConfig, rpm RPMReader, act *DVFSActuator) (*Watchdog, error) {
+	if rpm == nil || act == nil {
+		return nil, fmt.Errorf("core: watchdog needs a tach reader and an actuator")
+	}
+	if cfg.SamplePeriod <= 0 {
+		return nil, fmt.Errorf("core: watchdog: non-positive sample period")
+	}
+	if cfg.StallSamples <= 0 {
+		cfg.StallSamples = 3
+	}
+	if cfg.RecoverSamples <= 0 {
+		cfg.RecoverSamples = 5
+	}
+	return &Watchdog{cfg: cfg, rpm: rpm, act: act, next: cfg.SamplePeriod}, nil
+}
+
+// Emergency reports whether a fan failure is currently declared.
+func (w *Watchdog) Emergency() bool { return w.emergency }
+
+// Events returns the state-change log.
+func (w *Watchdog) Events() []WatchdogEvent {
+	return append([]WatchdogEvent(nil), w.events...)
+}
+
+// Errors returns the failed-read count.
+func (w *Watchdog) Errors() uint64 { return w.errs }
+
+// OnStep implements the cluster Controller interface.
+func (w *Watchdog) OnStep(now time.Duration) {
+	if now < w.next {
+		return
+	}
+	w.next += w.cfg.SamplePeriod
+	rpm, err := w.rpm()
+	if err != nil {
+		w.errs++
+		return
+	}
+	if rpm <= w.cfg.StallRPM {
+		w.stalled++
+		w.healthy = 0
+	} else {
+		w.healthy++
+		w.stalled = 0
+	}
+
+	switch {
+	case !w.emergency && w.stalled >= w.cfg.StallSamples:
+		// Confirmed seizure: drop to the most effective (lowest
+		// frequency) mode right now.
+		if err := w.act.Apply(w.act.NumModes() - 1); err != nil {
+			w.errs++
+			return
+		}
+		w.emergency = true
+		w.events = append(w.events, WatchdogEvent{At: now, Failure: true})
+	case w.emergency && w.healthy >= w.cfg.RecoverSamples:
+		if err := w.act.Apply(0); err != nil {
+			w.errs++
+			return
+		}
+		w.emergency = false
+		w.events = append(w.events, WatchdogEvent{At: now, Failure: false})
+	}
+}

@@ -1,0 +1,334 @@
+package window
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidates(t *testing.T) {
+	for _, cfg := range []Config{{L1Size: 0, L2Size: 5}, {L1Size: 3, L2Size: 5}, {L1Size: 4, L2Size: 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%+v): expected panic", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestRoundCompletion(t *testing.T) {
+	w := New(Default())
+	for i := 0; i < 3; i++ {
+		if w.Add(40) {
+			t.Fatalf("round complete after %d samples", i+1)
+		}
+	}
+	if !w.Add(40) {
+		t.Fatal("round not complete after 4 samples")
+	}
+	if w.Rounds() != 1 {
+		t.Errorf("Rounds = %d", w.Rounds())
+	}
+}
+
+func TestDeltaL1HalfSums(t *testing.T) {
+	w := New(Default())
+	for _, v := range []float64{40, 41, 43, 44} {
+		w.Add(v)
+	}
+	// (43+44) - (40+41) = 6
+	if got := w.DeltaL1(); got != 6 {
+		t.Errorf("DeltaL1 = %v, want 6", got)
+	}
+	if got := w.Avg(); got != 42 {
+		t.Errorf("Avg = %v, want 42", got)
+	}
+}
+
+func TestDeltaL1JitterCancels(t *testing.T) {
+	// Symmetric oscillation: half-sums are equal, Δt_L1 = 0. This is
+	// the mechanism that makes the controller ignore Type III jitter.
+	w := New(Default())
+	for _, v := range []float64{40, 44, 40, 44} {
+		w.Add(v)
+	}
+	if got := w.DeltaL1(); got != 0 {
+		t.Errorf("DeltaL1 for jitter = %v, want 0", got)
+	}
+}
+
+func TestL1ClearedBetweenRounds(t *testing.T) {
+	w := New(Default())
+	for _, v := range []float64{40, 40, 50, 50} {
+		w.Add(v) // ΔL1 = 20
+	}
+	for _, v := range []float64{50, 50, 50, 50} {
+		w.Add(v)
+	}
+	if got := w.DeltaL1(); got != 0 {
+		t.Errorf("DeltaL1 after flat round = %v, want 0 (L1 cleared)", got)
+	}
+}
+
+func TestDeltaL2FrontToRear(t *testing.T) {
+	w := New(Config{L1Size: 2, L2Size: 3})
+	feed := func(avg float64) {
+		w.Add(avg)
+		w.Add(avg)
+	}
+	feed(40)
+	if w.DeltaL2() != 0 {
+		t.Error("DeltaL2 with one entry should be 0")
+	}
+	feed(42)
+	if got := w.DeltaL2(); got != 2 {
+		t.Errorf("DeltaL2 = %v, want 2", got)
+	}
+	feed(44)
+	if got := w.DeltaL2(); got != 4 {
+		t.Errorf("DeltaL2 = %v, want 4 (44-40)", got)
+	}
+	if !w.L2Full() {
+		t.Error("L2 should be full after 3 rounds")
+	}
+	feed(46) // evicts 40
+	if got := w.DeltaL2(); got != 4 {
+		t.Errorf("DeltaL2 after eviction = %v, want 4 (46-42)", got)
+	}
+}
+
+func TestAvgBeforeFirstRound(t *testing.T) {
+	w := New(Default())
+	if !math.IsNaN(w.Avg()) {
+		t.Error("Avg before any round should be NaN")
+	}
+}
+
+func TestL2Copy(t *testing.T) {
+	w := New(Config{L1Size: 2, L2Size: 3})
+	w.Add(40)
+	w.Add(40)
+	got := w.L2()
+	got[0] = 999
+	if w.L2()[0] == 999 {
+		t.Error("L2 returned internal storage")
+	}
+}
+
+func TestAllL2AboveBelow(t *testing.T) {
+	w := New(Config{L1Size: 2, L2Size: 2})
+	w.Add(55)
+	w.Add(55)
+	if w.AllL2Above(51) {
+		t.Error("AllL2Above true before FIFO full")
+	}
+	w.Add(56)
+	w.Add(56)
+	if !w.AllL2Above(51) {
+		t.Error("AllL2Above false with entries 55, 56 > 51")
+	}
+	if w.AllL2Below(51) {
+		t.Error("AllL2Below true with hot entries")
+	}
+	w.Add(45)
+	w.Add(45)
+	if w.AllL2Above(51) {
+		t.Error("AllL2Above true with a 45 entry")
+	}
+	w.Add(44)
+	w.Add(44)
+	if !w.AllL2Below(51) {
+		t.Error("AllL2Below false with entries 45, 44 < 51")
+	}
+}
+
+func TestReset(t *testing.T) {
+	w := New(Default())
+	for i := 0; i < 8; i++ {
+		w.Add(float64(40 + i))
+	}
+	w.Reset()
+	if w.Rounds() != 0 || w.DeltaL1() != 0 || w.DeltaL2() != 0 || w.L2Full() {
+		t.Error("Reset did not clear state")
+	}
+}
+
+func TestClassifySudden(t *testing.T) {
+	w := New(Default())
+	for _, v := range []float64{40, 40, 46, 46} {
+		w.Add(v)
+	}
+	if got := w.Classify(DefaultClassify()); got != Sudden {
+		t.Errorf("Classify = %v, want sudden", got)
+	}
+}
+
+func TestClassifyJitter(t *testing.T) {
+	w := New(Default())
+	for _, v := range []float64{40, 42, 40, 42} {
+		w.Add(v)
+	}
+	if got := w.Classify(DefaultClassify()); got != Jitter {
+		t.Errorf("Classify = %v, want jitter", got)
+	}
+}
+
+func TestClassifyGradual(t *testing.T) {
+	w := New(Default())
+	// Slow drift: +0.1 °C per sample. Per round Δt_L1 = 0.4 (below the
+	// sudden threshold), but over 5 rounds the L2 spread is 1.6 °C.
+	v := 40.0
+	for r := 0; r < 5; r++ {
+		for i := 0; i < 4; i++ {
+			w.Add(v)
+			v += 0.1
+		}
+	}
+	if got := w.Classify(DefaultClassify()); got != Gradual {
+		t.Errorf("Classify = %v, want gradual (ΔL1=%v ΔL2=%v)", got, w.DeltaL1(), w.DeltaL2())
+	}
+}
+
+func TestClassifySteady(t *testing.T) {
+	w := New(Default())
+	for r := 0; r < 6; r++ {
+		for i := 0; i < 4; i++ {
+			w.Add(45.25)
+		}
+	}
+	if got := w.Classify(DefaultClassify()); got != Steady {
+		t.Errorf("Classify = %v, want steady", got)
+	}
+}
+
+func TestPredictNextBeforeFirstRound(t *testing.T) {
+	w := New(Default())
+	if !math.IsNaN(w.PredictNext()) {
+		t.Error("prediction before any round should be NaN")
+	}
+}
+
+func TestPredictNextLinearRamp(t *testing.T) {
+	// Perfectly linear +0.5 °C per sample: the next round's average is
+	// exactly the last average plus 2 °C (4 samples ahead).
+	w := New(Default())
+	v := 40.0
+	var predicted float64
+	for r := 0; r < 3; r++ {
+		for i := 0; i < 4; i++ {
+			w.Add(v)
+			v += 0.5
+		}
+		if r == 1 {
+			predicted = w.PredictNext()
+		}
+	}
+	actual := w.Avg() // third round's average
+	if math.Abs(predicted-actual) > 1e-9 {
+		t.Errorf("linear ramp: predicted %v, actual next average %v", predicted, actual)
+	}
+}
+
+func TestPredictNextFlat(t *testing.T) {
+	w := New(Default())
+	for i := 0; i < 8; i++ {
+		w.Add(45)
+	}
+	if got := w.PredictNext(); got != 45 {
+		t.Errorf("flat prediction = %v, want 45", got)
+	}
+}
+
+func TestPredictNextFallsBackToL2(t *testing.T) {
+	// A drift too slow for Δt_L1 (constant within each round, +0.4 °C
+	// between rounds) must still be predicted via the level-two rate.
+	w := New(Default())
+	base := 40.0
+	for r := 0; r < 5; r++ {
+		for i := 0; i < 4; i++ {
+			w.Add(base)
+		}
+		base += 0.4
+	}
+	got := w.PredictNext()
+	want := w.Avg() + 0.4
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("L2 fallback prediction = %v, want %v", got, want)
+	}
+}
+
+// TestPredictionBeatsPersistenceOnTrends quantifies the paper's
+// prediction claim on a realistic trajectory: an exponential approach
+// to equilibrium (what a thermal RC step looks like). The window
+// forecast must have lower error than the naive "next = current"
+// persistence forecast.
+func TestPredictionBeatsPersistenceOnTrends(t *testing.T) {
+	w := New(Default())
+	temp := func(tSec float64) float64 { // 40 → 60 °C, tau 30 s
+		return 60 - 20*math.Exp(-tSec/30)
+	}
+	var predErr, persistErr float64
+	var n int
+	var lastPred, lastAvg float64
+	have := false
+	for s := 0; s < 480; s++ { // 120 s at 4 Hz
+		if w.Add(temp(float64(s) * 0.25)) {
+			if have {
+				predErr += math.Abs(w.Avg() - lastPred)
+				persistErr += math.Abs(w.Avg() - lastAvg)
+				n++
+			}
+			lastPred = w.PredictNext()
+			lastAvg = w.Avg()
+			have = true
+		}
+	}
+	if n < 100 {
+		t.Fatalf("only %d comparisons", n)
+	}
+	if predErr >= persistErr {
+		t.Errorf("window forecast MAE %.4f not below persistence MAE %.4f",
+			predErr/float64(n), persistErr/float64(n))
+	}
+}
+
+func TestBehaviorString(t *testing.T) {
+	for b, want := range map[Behavior]string{Steady: "steady", Sudden: "sudden", Gradual: "gradual", Jitter: "jitter"} {
+		if b.String() != want {
+			t.Errorf("%d.String() = %q", b, b.String())
+		}
+	}
+}
+
+func TestDeltaL1InvariantUnderConstantOffset(t *testing.T) {
+	// Adding a constant to every sample must not change either delta:
+	// the window reacts to variation, not to absolute level.
+	if err := quick.Check(func(a, b, c, d float64, off float64) bool {
+		if !finite(a) || !finite(b) || !finite(c) || !finite(d) || !finite(off) {
+			return true
+		}
+		w1 := New(Default())
+		w2 := New(Default())
+		for _, v := range []float64{a, b, c, d} {
+			w1.Add(v)
+			w2.Add(v + off)
+		}
+		return math.Abs(w1.DeltaL1()-w2.DeltaL1()) < 1e-6*(1+math.Abs(w1.DeltaL1()))
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e9
+}
+
+func BenchmarkAdd(b *testing.B) {
+	w := New(Default())
+	for i := 0; i < b.N; i++ {
+		w.Add(float64(i % 10))
+	}
+}

@@ -1,0 +1,88 @@
+package cstates
+
+import (
+	"testing"
+
+	"thermctl/internal/cpu"
+	"thermctl/internal/hwmon"
+)
+
+func rig() (*hwmon.FS, *cpu.CPU, Paths) {
+	fs := hwmon.NewFS()
+	c := cpu.New(cpu.DefaultConfig())
+	return fs, c, Mount(fs, 0, c)
+}
+
+func TestTableShallowToDeep(t *testing.T) {
+	tab := Table()
+	if len(tab) != 4 || tab[0].Name != "C0" || tab[3].Name != "C3" {
+		t.Fatalf("table: %+v", tab)
+	}
+	for i := 1; i < len(tab); i++ {
+		if tab[i].IdleFactor >= tab[i-1].IdleFactor {
+			t.Errorf("idle factor not decreasing at %s", tab[i].Name)
+		}
+		if tab[i].ExitLatency <= tab[i-1].ExitLatency {
+			t.Errorf("exit latency not increasing at %s", tab[i].Name)
+		}
+	}
+}
+
+func TestMountAppliesIdleFactor(t *testing.T) {
+	fs, c, p := rig()
+	if err := fs.WriteInt(p.MaxState, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.IdleFactor(); got != 0.25 {
+		t.Errorf("idle factor after C3 = %v", got)
+	}
+	if v, _ := fs.ReadInt(p.MaxState); v != 3 {
+		t.Errorf("readback = %d", v)
+	}
+	if err := fs.WriteInt(p.MaxState, 9); err == nil {
+		t.Error("out-of-range state accepted")
+	}
+}
+
+func TestDeepIdleCutsIdlePowerOnly(t *testing.T) {
+	fs, c, p := rig()
+	c.SetUtilization(0)
+	shallowIdle := c.Power(40)
+	_ = fs.WriteInt(p.MaxState, 3)
+	deepIdle := c.Power(40)
+	if deepIdle >= shallowIdle {
+		t.Errorf("C3 idle power %v not below C0 idle power %v", deepIdle, shallowIdle)
+	}
+	// Under full utilization there is no idle residual to gate: the
+	// C-state must be free.
+	c.SetUtilization(1)
+	busyDeep := c.Power(50)
+	_ = fs.WriteInt(p.MaxState, 0)
+	busyShallow := c.Power(50)
+	if busyDeep != busyShallow {
+		t.Errorf("C-state changed busy power: %v vs %v", busyDeep, busyShallow)
+	}
+}
+
+func TestActuatorRoundTrip(t *testing.T) {
+	fs, c, p := rig()
+	a := NewActuator(fs, p)
+	if a.NumModes() != 4 || a.Name() == "" {
+		t.Fatal("metadata")
+	}
+	for m := 0; m < 4; m++ {
+		if err := a.Apply(m); err != nil {
+			t.Fatal(err)
+		}
+		got, err := a.Current()
+		if err != nil || got != m {
+			t.Errorf("Apply(%d) -> %d, %v", m, got, err)
+		}
+	}
+	if err := a.Apply(99); err != nil {
+		t.Errorf("Apply clamps: %v", err)
+	}
+	if c.IdleFactor() != 0.25 {
+		t.Errorf("final idle factor %v", c.IdleFactor())
+	}
+}

@@ -1,0 +1,220 @@
+// Package experiment regenerates every table and figure of the paper's
+// evaluation (§4) on the simulated cluster. Each experiment has a Run
+// function returning a typed result whose String method prints the rows
+// or series the paper reports, plus Check* accessors the benchmark
+// harness asserts the paper's qualitative claims against.
+//
+// Experiment index (see DESIGN.md §4 for the full mapping):
+//
+//	Fig2   — thermal behaviour types (sudden / gradual / jitter)
+//	Fig5   — dynamic fan control vs. policy Pp ∈ {75, 50, 25}
+//	Fig6   — dynamic vs. traditional static vs. constant fan on BT.B.4
+//	Fig7   — maximum-PWM sweep {25, 50, 75, 100}%
+//	Fig8   — tDVFS coupled with static fan control on LU
+//	Fig9   — tDVFS vs. CPUSPEED under a weak fan on BT.B.4
+//	Table1 — performance/power of BT under CPUSPEED vs. tDVFS
+//	Fig10  — hybrid dynamic fan + tDVFS, one Pp for both knobs
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"thermctl/internal/baseline"
+	"thermctl/internal/cluster"
+	"thermctl/internal/core"
+	"thermctl/internal/trace"
+)
+
+// Seed is the default seed used by all experiments; fixed so every run
+// of the harness reproduces identical numbers.
+const Seed = 20100131 // ICPP 2010 submission era
+
+// probe records per-node observables on a fixed schedule.
+type probe struct {
+	c     *cluster.Cluster
+	rec   *trace.Recorder
+	every time.Duration
+	next  time.Duration
+}
+
+// newProbe attaches a recorder to the cluster sampling every interval.
+func newProbe(c *cluster.Cluster, every time.Duration) *probe {
+	p := &probe{c: c, rec: trace.NewRecorder(), every: every, next: 0}
+	c.AddController(p)
+	return p
+}
+
+// OnStep implements cluster.Controller.
+func (p *probe) OnStep(now time.Duration) {
+	if now < p.next {
+		return
+	}
+	p.next += p.every
+	for i, n := range p.c.Nodes {
+		prefix := fmt.Sprintf("n%d_", i)
+		p.rec.Record(prefix+"temp", now, n.Sensor.Read())
+		p.rec.Record(prefix+"duty", now, n.Fan.Duty())
+		p.rec.Record(prefix+"freq", now, n.CPU.FreqGHz())
+		p.rec.Record(prefix+"power", now, n.Power().Total())
+	}
+}
+
+// FanMethod selects the fan control scheme of a run.
+type FanMethod int
+
+// The fan control schemes compared in the paper.
+const (
+	FanDynamic  FanMethod = iota // the paper's history-based controller
+	FanStatic                    // traditional static map (Figure 1)
+	FanConstant                  // fixed duty
+	FanNone                      // leave the ADT7467 in chip-automatic mode
+)
+
+// String implements fmt.Stringer.
+func (m FanMethod) String() string {
+	switch m {
+	case FanDynamic:
+		return "dynamic"
+	case FanStatic:
+		return "static"
+	case FanConstant:
+		return "constant"
+	default:
+		return "chip-auto"
+	}
+}
+
+// attachFanControl installs the chosen per-node fan controller on every
+// node of the cluster.
+func attachFanControl(c *cluster.Cluster, method FanMethod, pp int, maxDuty float64) ([]*core.Controller, error) {
+	var ctls []*core.Controller
+	for _, n := range c.Nodes {
+		read := core.SysfsTemp(n.FS, n.Hwmon.TempInput)
+		port := &core.SysfsFanPort{FS: n.FS, Chip: n.Hwmon}
+		switch method {
+		case FanDynamic:
+			ctl, err := core.NewController(core.DefaultConfig(pp), read,
+				core.ActuatorBinding{Actuator: core.NewFanActuator(port, maxDuty)})
+			if err != nil {
+				return nil, err
+			}
+			c.AddController(ctl)
+			ctls = append(ctls, ctl)
+		case FanStatic:
+			ctl, err := baseline.NewStaticFan(baseline.DefaultStaticFanConfig(maxDuty), read, port)
+			if err != nil {
+				return nil, err
+			}
+			c.AddController(ctl)
+		case FanConstant:
+			c.AddController(baseline.NewConstantFan(maxDuty, port))
+		case FanNone:
+			// chip automatic mode: nothing to attach
+		}
+	}
+	return ctls, nil
+}
+
+// attachTDVFS installs a tDVFS daemon on every node and returns them.
+func attachTDVFS(c *cluster.Cluster, cfg core.TDVFSConfig) ([]*core.TDVFS, error) {
+	var daemons []*core.TDVFS
+	for _, n := range c.Nodes {
+		act, err := core.NewDVFSActuator(&core.SysfsFreqPort{FS: n.FS, Paths: n.Cpufreq})
+		if err != nil {
+			return nil, err
+		}
+		d, err := core.NewTDVFS(cfg, core.SysfsTemp(n.FS, n.Hwmon.TempInput), act)
+		if err != nil {
+			return nil, err
+		}
+		c.AddController(d)
+		daemons = append(daemons, d)
+	}
+	return daemons, nil
+}
+
+// attachHybrid installs the unified controller on every node: a dynamic
+// fan controller (policy fanPp, duty cap maxDuty) coordinated with a
+// tDVFS daemon.
+func attachHybrid(c *cluster.Cluster, fanPp int, maxDuty float64, cfg core.TDVFSConfig) ([]*core.Hybrid, error) {
+	var hybrids []*core.Hybrid
+	for _, n := range c.Nodes {
+		read := core.SysfsTemp(n.FS, n.Hwmon.TempInput)
+		port := &core.SysfsFanPort{FS: n.FS, Chip: n.Hwmon}
+		fan, err := core.NewController(core.DefaultConfig(fanPp), read,
+			core.ActuatorBinding{Actuator: core.NewFanActuator(port, maxDuty)})
+		if err != nil {
+			return nil, err
+		}
+		act, err := core.NewDVFSActuator(&core.SysfsFreqPort{FS: n.FS, Paths: n.Cpufreq})
+		if err != nil {
+			return nil, err
+		}
+		d, err := core.NewTDVFS(cfg, read, act)
+		if err != nil {
+			return nil, err
+		}
+		h := core.NewHybrid(fan, d)
+		c.AddController(h)
+		hybrids = append(hybrids, h)
+	}
+	return hybrids, nil
+}
+
+// attachCPUSpeed installs a CPUSPEED daemon on every node.
+func attachCPUSpeed(c *cluster.Cluster) error {
+	for _, n := range c.Nodes {
+		cs, err := baseline.NewCPUSpeed(baseline.DefaultCPUSpeedConfig(), n.FS,
+			&core.SysfsFreqPort{FS: n.FS, Paths: n.Cpufreq})
+		if err != nil {
+			return err
+		}
+		c.AddController(cs)
+	}
+	return nil
+}
+
+// newCluster builds the standard 4-node experiment cluster, settled at
+// idle.
+func newCluster(nodes int, seed uint64) (*cluster.Cluster, error) {
+	c, err := cluster.New(nodes, cluster.DefaultDt, seed)
+	if err != nil {
+		return nil, err
+	}
+	c.Settle(0)
+	return c, nil
+}
+
+// avgAcrossNodes returns the mean over nodes of the given per-node
+// series statistic.
+func avgAcrossNodes(rec *trace.Recorder, nodes int, suffix string,
+	stat func(*trace.Series) float64) float64 {
+	var sum float64
+	for i := 0; i < nodes; i++ {
+		s := rec.Series(fmt.Sprintf("n%d_%s", i, suffix))
+		if s == nil {
+			return 0
+		}
+		sum += stat(s)
+	}
+	return sum / float64(nodes)
+}
+
+// meterAvgW returns the average wall power across the cluster's nodes.
+func meterAvgW(c *cluster.Cluster) float64 {
+	var sum float64
+	for _, n := range c.Nodes {
+		sum += n.Meter.AverageW()
+	}
+	return sum / float64(len(c.Nodes))
+}
+
+// totalTransitions sums frequency transitions across nodes.
+func totalTransitions(c *cluster.Cluster) uint64 {
+	var sum uint64
+	for _, n := range c.Nodes {
+		sum += n.CPU.Transitions()
+	}
+	return sum
+}

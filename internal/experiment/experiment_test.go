@@ -1,0 +1,314 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+)
+
+// The experiment tests assert the paper's qualitative claims — who
+// wins, roughly by how much, where crossovers fall — on the simulated
+// platform. They are the repository's integration suite; each runs a
+// full multi-minute simulation in well under a second of wall time.
+
+func TestFig2ClassifiesBehaviours(t *testing.T) {
+	r, err := Fig2(Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SuddenInOnset < 1 {
+		t.Errorf("no sudden round detected in the onset segment (%d rounds)", r.RoundsInOnset)
+	}
+	if r.FalseSuddenInJitter > r.RoundsInJitter/5 {
+		t.Errorf("jitter misread as sudden %d/%d rounds — the window must nullify jitter",
+			r.FalseSuddenInJitter, r.RoundsInJitter)
+	}
+	if r.GradualInRamp < r.RoundsInRamp/4 {
+		t.Errorf("gradual trend detected in only %d/%d ramp rounds", r.GradualInRamp, r.RoundsInRamp)
+	}
+	if r.Temp.Max()-r.Temp.Min() < 8 {
+		t.Errorf("profile spans only %.1f degC; expected a wide thermal range",
+			r.Temp.Max()-r.Temp.Min())
+	}
+}
+
+func TestFig5PolicyOrdering(t *testing.T) {
+	r, err := Fig5(Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p25, p50, p75 := r.Row(25), r.Row(50), r.Row(75)
+	if p25 == nil || p50 == nil || p75 == nil {
+		t.Fatal("missing rows")
+	}
+	// Smaller Pp → more aggressive → higher average duty.
+	if !(p25.AvgDuty > p50.AvgDuty && p50.AvgDuty > p75.AvgDuty) {
+		t.Errorf("duty ordering violated: Pp25=%.1f Pp50=%.1f Pp75=%.1f",
+			p25.AvgDuty, p50.AvgDuty, p75.AvgDuty)
+	}
+	// ... and lower steady temperature.
+	if !(p25.AvgTempC < p50.AvgTempC && p50.AvgTempC < p75.AvgTempC) {
+		t.Errorf("temp ordering violated: Pp25=%.2f Pp50=%.2f Pp75=%.2f",
+			p25.AvgTempC, p50.AvgTempC, p75.AvgTempC)
+	}
+	// The paper's absolute averages are 70/53/36; our plant runs a
+	// hotter cpu-burn (its Fig. 5 thermal swing is ~4 °C against the
+	// 15-20 °C its other figures show), so we assert the shape: a wide
+	// spread with the weak policy staying well off the rails.
+	if p25.AvgDuty-p75.AvgDuty < 15 {
+		t.Errorf("Pp=25 vs Pp=75 duty spread %.0f points, want ≥15 (paper: 34)",
+			p25.AvgDuty-p75.AvgDuty)
+	}
+	if p75.AvgDuty > 85 || p75.AvgDuty < 20 {
+		t.Errorf("Pp=75 avg duty %.0f saturated or degenerate", p75.AvgDuty)
+	}
+}
+
+func TestFig6MethodComparison(t *testing.T) {
+	r, err := Fig6(Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dyn, sta, con := r.Row(FanDynamic), r.Row(FanStatic), r.Row(FanConstant)
+	if dyn == nil || sta == nil || con == nil {
+		t.Fatal("missing rows")
+	}
+	// Dynamic control proactively drives the fan harder than the
+	// static map's reactive line.
+	if dyn.PeakDuty <= sta.PeakDuty {
+		t.Errorf("dynamic peak duty %.1f not above static %.1f", dyn.PeakDuty, sta.PeakDuty)
+	}
+	// ... and holds a lower steady temperature.
+	if dyn.SteadyC >= sta.SteadyC {
+		t.Errorf("dynamic steady %.2f not below static %.2f", dyn.SteadyC, sta.SteadyC)
+	}
+	// Constant 75% duty is the coldest and burns the most fan energy.
+	if con.SteadyC >= dyn.SteadyC {
+		t.Errorf("constant-75 steady %.2f not the lowest (dynamic %.2f)", con.SteadyC, dyn.SteadyC)
+	}
+	if con.FanEnergyJ <= dyn.FanEnergyJ || con.FanEnergyJ <= sta.FanEnergyJ {
+		t.Errorf("constant-75 fan energy %.0f J not the highest (dyn %.0f, static %.0f)",
+			con.FanEnergyJ, dyn.FanEnergyJ, sta.FanEnergyJ)
+	}
+}
+
+func TestFig7MaxPWMSweep(t *testing.T) {
+	r, err := Fig7(Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Monotone: stronger fan → lower steady temperature.
+	prev := math.Inf(-1)
+	for _, cap := range []float64{100, 75, 50, 25} {
+		row := r.Row(cap)
+		if row == nil {
+			t.Fatal("missing row")
+		}
+		if row.SteadyC <= prev {
+			t.Errorf("steady temp at cap %.0f%% (%.2f) not above stronger fan (%.2f)",
+				cap, row.SteadyC, prev)
+		}
+		prev = row.SteadyC
+	}
+	// Paper: ≈8 °C between 25% and 100%.
+	if s := r.Spread(25, 100); s < 4 || s > 14 {
+		t.Errorf("25%%->100%% spread = %.2f degC, want 4..14 (paper ~8)", s)
+	}
+	// Paper: no significant difference between 50% and 75%.
+	if s := math.Abs(r.Spread(50, 75)); s > 3 {
+		t.Errorf("50%% vs 75%% spread = %.2f degC, want small (paper: not significant)", s)
+	}
+}
+
+func TestFig8TDVFSWithStaticFan(t *testing.T) {
+	r, err := Fig8(Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Downscales < 1 {
+		t.Error("tDVFS never scaled down despite the weak 25% fan")
+	}
+	if r.Downscales > 4 {
+		t.Errorf("tDVFS made %d downscales; paper shows very few", r.Downscales)
+	}
+	if r.Upscales < 1 {
+		t.Error("tDVFS never restored the nominal frequency in the idle tail")
+	}
+	if r.EndFreqGHz != 2.4 {
+		t.Errorf("end frequency %.1f GHz, want 2.4 restored", r.EndFreqGHz)
+	}
+	if r.MinFreqGHz > 2.2 {
+		t.Errorf("min frequency %.1f GHz — expected at least one step down", r.MinFreqGHz)
+	}
+}
+
+func TestFig9TDVFSStabilizesCPUSpeedDoesNot(t *testing.T) {
+	r, err := Fig9(Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td, cs := r.Row("tDVFS"), r.Row("CPUSPEED")
+	if td == nil || cs == nil {
+		t.Fatal("missing rows")
+	}
+	// CPUSPEED ends hotter.
+	if td.FinalC >= cs.FinalC {
+		t.Errorf("tDVFS final %.2f not below CPUSPEED %.2f", td.FinalC, cs.FinalC)
+	}
+	// tDVFS's late-run trend is flat; CPUSPEED's is higher.
+	if td.LateSlope > cs.LateSlope {
+		t.Errorf("late slope: tDVFS %.2f vs CPUSPEED %.2f degC/min", td.LateSlope, cs.LateSlope)
+	}
+	if math.Abs(td.LateSlope) > 1.0 {
+		t.Errorf("tDVFS late slope %.2f degC/min — not stabilized", td.LateSlope)
+	}
+	// Transition counts: orders of magnitude apart.
+	if td.Transitions*10 > cs.Transitions {
+		t.Errorf("transitions: tDVFS %d vs CPUSPEED %d — want ≥10x reduction",
+			td.Transitions, cs.Transitions)
+	}
+}
+
+func TestTable1Claims(t *testing.T) {
+	r, err := Table1(Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cap := range []float64{75, 50, 25} {
+		cs, td := r.Cell("CPUSPEED", cap), r.Cell("tDVFS", cap)
+		if cs == nil || td == nil {
+			t.Fatal("missing cells")
+		}
+		// Headline: tDVFS reduces frequency changes by ~two orders.
+		if td.FreqChanges > 6 {
+			t.Errorf("cap %.0f%%: tDVFS made %d changes, want ≤6 (paper 2-3)", cap, td.FreqChanges)
+		}
+		if cs.FreqChanges < 40 {
+			t.Errorf("cap %.0f%%: CPUSPEED made only %d changes, want ≥40 (paper 101-139)", cap, cs.FreqChanges)
+		}
+		// tDVFS never uses meaningfully more power (parity at strong
+		// fans where it rarely acts; clear wins at weak fans).
+		if td.AvgPowerW > cs.AvgPowerW+1.0 {
+			t.Errorf("cap %.0f%%: tDVFS power %.2f well above CPUSPEED %.2f",
+				cap, td.AvgPowerW, cs.AvgPowerW)
+		}
+		// Power-delay product stays within a whisker of CPUSPEED's
+		// while making ~99%% fewer transitions (the paper's margin is
+		// 0.4-3.4%%; ours straddles zero at strong fans).
+		if td.PDP > cs.PDP*1.02 {
+			t.Errorf("cap %.0f%%: tDVFS PDP %.0f more than 2%%%% above CPUSPEED %.0f",
+				cap, td.PDP, cs.PDP)
+		}
+	}
+	// Where the fan is weakest — the regime this paper is about —
+	// tDVFS beats CPUSPEED on power outright and on the combined
+	// power-delay metric (paper: 21710 vs 22479).
+	cs25, td25a := r.Cell("CPUSPEED", 25), r.Cell("tDVFS", 25)
+	if td25a.AvgPowerW >= cs25.AvgPowerW-2 {
+		t.Errorf("cap 25%%: tDVFS power %.2f not clearly below CPUSPEED %.2f",
+			td25a.AvgPowerW, cs25.AvgPowerW)
+	}
+	if td25a.PDP >= cs25.PDP {
+		t.Errorf("cap 25%%: tDVFS PDP %.0f not below CPUSPEED %.0f", td25a.PDP, cs25.PDP)
+	}
+	// tDVFS's power column decreases as the fan weakens (the paper's
+	// 97.93 / 94.19 / 92.78): DVFS absorbs what the fan cannot.
+	td75p, td50p := r.Cell("tDVFS", 75), r.Cell("tDVFS", 50)
+	if !(td25a.AvgPowerW < td50p.AvgPowerW && td50p.AvgPowerW < td75p.AvgPowerW) {
+		t.Errorf("tDVFS power not decreasing with weaker fans: %.2f/%.2f/%.2f",
+			td75p.AvgPowerW, td50p.AvgPowerW, td25a.AvgPowerW)
+	}
+	// At 75% the fan suffices: tDVFS pays no performance.
+	cs75, td75 := r.Cell("CPUSPEED", 75), r.Cell("tDVFS", 75)
+	if td75.ExecS > cs75.ExecS*1.02 {
+		t.Errorf("cap 75%%: tDVFS time %.1f s vs CPUSPEED %.1f s — want parity", td75.ExecS, cs75.ExecS)
+	}
+	// At 25% tDVFS trades a bounded slowdown (paper: ~6.7%).
+	td25 := r.Cell("tDVFS", 25)
+	slowdown := td25.ExecS/td75.ExecS - 1
+	if slowdown < 0 || slowdown > 0.12 {
+		t.Errorf("tDVFS 25%% slowdown = %.1f%%, want 0..12%% (paper ~6.7%%)", slowdown*100)
+	}
+}
+
+func TestFig10HybridCoordination(t *testing.T) {
+	r, err := Fig10(Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p25, p50, p75 := r.Row(25), r.Row(50), r.Row(75)
+	if p25 == nil || p50 == nil || p75 == nil {
+		t.Fatal("missing rows")
+	}
+	// Smaller Pp controls temperature more effectively. The margin is
+	// small because under the hybrid the conservative policies end up
+	// buying their cooling in-band (lower frequency also cools), so we
+	// allow sensor-noise tolerance.
+	if p25.AvgTempC > p75.AvgTempC+0.5 || p25.AvgTempC > p50.AvgTempC+0.5 {
+		t.Errorf("avg temp: Pp25 %.2f not at/below Pp50 %.2f and Pp75 %.2f",
+			p25.AvgTempC, p50.AvgTempC, p75.AvgTempC)
+	}
+	// Coordination: the aggressive fan delays the in-band trigger.
+	if p25.Triggered && p75.Triggered && p25.TriggeredS <= p75.TriggeredS {
+		t.Errorf("tDVFS trigger: Pp25 at %.0f s not later than Pp75 at %.0f s",
+			p25.TriggeredS, p75.TriggeredS)
+	}
+	// Performance impact stays small across policies. The paper reports
+	// Pp=25 4.76% slower than Pp=75; on our plant the ordering flips to
+	// a stable ≈-1.2% because both policies bottom out at the same
+	// frequency (the cap-50 equilibrium sits on the threshold) and the
+	// conservative policy's ~35 s earlier trigger then dominates the
+	// aggressive policy's deeper jump. Either way the paper's real
+	// point — the spread is small — holds; see EXPERIMENTS.md.
+	if s := r.PerfSpreadPct(); s < -5 || s > 10 {
+		t.Errorf("perf spread = %.2f%%, want within [-5%%, 10%%] (paper +4.76%%)", s)
+	}
+	// The aggressive policy's deeper jump: Pp=25 reaches a lower
+	// frequency than Pp=75 ever does (paper Fig. 10 ①: 2.4→2.0).
+	if p25.MinFreqGHz > p75.MinFreqGHz {
+		t.Errorf("min freq: Pp25 %.1f GHz above Pp75 %.1f GHz", p25.MinFreqGHz, p75.MinFreqGHz)
+	}
+}
+
+func TestResultsArePrintable(t *testing.T) {
+	// Smoke-test every String method on a cheap subset.
+	r2, err := Fig2(Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.String() == "" {
+		t.Error("Fig2 String empty")
+	}
+}
+
+func TestTable1Deterministic(t *testing.T) {
+	a, err := Table1(Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Table1(Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Cells {
+		ca, cb := a.Cells[i], b.Cells[i]
+		if ca != cb {
+			t.Fatalf("Table1 not deterministic: %+v vs %+v", ca, cb)
+		}
+	}
+}
+
+func TestDeterministicResults(t *testing.T) {
+	a, err := Fig7(Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig7(Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Rows {
+		if a.Rows[i].SteadyC != b.Rows[i].SteadyC {
+			t.Fatal("Fig7 not deterministic across identical runs")
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package experiment
+
+import "testing"
+
+func TestFanFailureTDVFSRescues(t *testing.T) {
+	r, err := FanFailure(Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	un, td := r.Row("unprotected"), r.Row("tDVFS")
+	if un == nil || td == nil {
+		t.Fatal("missing rows")
+	}
+	// Without a thermal daemon the dead fan drives the die into the
+	// hardware trip point.
+	if un.Emergencies == 0 {
+		t.Error("unprotected run never hit the trip point — failure not severe enough")
+	}
+	if un.ProtectedS <= 0 {
+		t.Error("unprotected run spent no time clamped")
+	}
+	// tDVFS reacts in-band before the silicon has to.
+	if td.Emergencies != 0 {
+		t.Errorf("tDVFS run hit the trip point %d times — rescue failed", td.Emergencies)
+	}
+	if td.TDVFSRescues == 0 {
+		t.Error("tDVFS made no scale-downs after the failure")
+	}
+	if td.PeakC >= un.PeakC {
+		t.Errorf("tDVFS peak %.1f not below unprotected peak %.1f", td.PeakC, un.PeakC)
+	}
+}
+
+func TestFanFailureStaticFanIsBlind(t *testing.T) {
+	r, err := FanFailure(Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf := r.Row("static-fan")
+	if sf == nil {
+		t.Fatal("missing row")
+	}
+	// The static map keeps commanding a dead fan: it cannot prevent
+	// the emergency either.
+	if sf.Emergencies == 0 {
+		t.Error("static fan control somehow prevented the emergency with a dead fan")
+	}
+}
+
+func TestRackStudyCompensation(t *testing.T) {
+	r, err := RackStudy(Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Fixed) != 4 || len(r.Unified) != 4 {
+		t.Fatal("missing rows")
+	}
+	// Recirculation: inlet temperature rises with slot in both runs.
+	for i := 1; i < 4; i++ {
+		if r.Fixed[i].InletC <= r.Fixed[0].InletC {
+			t.Errorf("slot %d inlet %.2f not above bottom %.2f", i, r.Fixed[i].InletC, r.Fixed[0].InletC)
+		}
+	}
+	// Fixed duty: the gradient reaches the dies.
+	if d := r.Fixed[3].DieC - r.Fixed[0].DieC; d < 1.5 {
+		t.Errorf("fixed-duty die gradient only %.2f °C", d)
+	}
+	// Unified control: upper slots get more fan and every die lands far
+	// below the fixed-duty case.
+	if r.Unified[3].FanDuty <= r.Unified[0].FanDuty {
+		t.Errorf("top slot duty %.1f not above bottom %.1f",
+			r.Unified[3].FanDuty, r.Unified[0].FanDuty)
+	}
+	for i := range r.Unified {
+		if r.Unified[i].DieC >= r.Fixed[i].DieC-3 {
+			t.Errorf("slot %d: unified %.2f °C not well below fixed %.2f °C",
+				i, r.Unified[i].DieC, r.Fixed[i].DieC)
+		}
+	}
+	if r.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestWorkloadStudySpread(t *testing.T) {
+	r, err := WorkloadStudy(Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, cg, bt := r.Row("EP.B.4"), r.Row("CG.B.4"), r.Row("BT.B.4")
+	if ep == nil || cg == nil || bt == nil {
+		t.Fatal("missing rows")
+	}
+	// The compute-bound kernel burns more power and runs hotter than
+	// the memory/comm-bound one...
+	if ep.AvgPowerW <= cg.AvgPowerW {
+		t.Errorf("EP power %.1f not above CG %.1f", ep.AvgPowerW, cg.AvgPowerW)
+	}
+	if ep.PeakC <= cg.PeakC {
+		t.Errorf("EP peak %.1f not above CG %.1f", ep.PeakC, cg.PeakC)
+	}
+	// ...and pays far more for down-clocking.
+	if ep.SlowdownPct <= bt.SlowdownPct || bt.SlowdownPct <= cg.SlowdownPct {
+		t.Errorf("slowdown ordering violated: EP %.1f%%, BT %.1f%%, CG %.1f%%",
+			ep.SlowdownPct, bt.SlowdownPct, cg.SlowdownPct)
+	}
+	if cg.SlowdownPct > 8 {
+		t.Errorf("CG slowdown %.1f%% — memory-bound kernel should be nearly flat", cg.SlowdownPct)
+	}
+	if ep.SlowdownPct < 12 {
+		t.Errorf("EP slowdown %.1f%% — compute-bound kernel should track the frequency ratio", ep.SlowdownPct)
+	}
+}
+
+func TestScalingOverheadGrowsSlowly(t *testing.T) {
+	r, err := Scaling(Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("%d rows", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.ExecS <= 0 || row.ExecS < row.IdealS {
+			t.Errorf("%d nodes: exec %.1f vs ideal %.1f", row.Nodes, row.ExecS, row.IdealS)
+		}
+		// Decentralized control must not blow up with size: bounded
+		// overhead even at 16 nodes.
+		if row.OverheadPct > 25 {
+			t.Errorf("%d nodes: overhead %.1f%%, want bounded", row.Nodes, row.OverheadPct)
+		}
+	}
+	// Overhead at 16 nodes stays within a few points of 2 nodes'
+	// (barrier coupling takes the max over more nodes, so some growth
+	// is expected — it must not be multiplicative).
+	d := r.Rows[3].OverheadPct - r.Rows[0].OverheadPct
+	if d > 15 {
+		t.Errorf("overhead grew %.1f points from 2 to 16 nodes", d)
+	}
+	if r.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestAblationWindowTradeoff(t *testing.T) {
+	r, err := Ablation(Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paper := r.Row(4, 5)
+	tiny := r.Row(2, 5)
+	if paper == nil || tiny == nil {
+		t.Fatal("missing rows")
+	}
+	// The 2-entry window cannot cancel 1 s jitter (its span is half a
+	// period) and churns the actuator harder than the paper's choice.
+	if tiny.JitterMoves <= paper.JitterMoves {
+		t.Errorf("2-entry window jitter moves %d not above 4-entry's %d",
+			tiny.JitterMoves, paper.JitterMoves)
+	}
+	// Every configuration still controls the temperature.
+	for _, row := range r.Rows {
+		if row.SteadyC > 58 {
+			t.Errorf("L1=%d L2=%d settled at %.1f °C", row.L1Size, row.L2Size, row.SteadyC)
+		}
+	}
+	if r.String() == "" {
+		t.Error("empty String")
+	}
+}

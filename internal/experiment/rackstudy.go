@@ -1,0 +1,125 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"thermctl/internal/cluster"
+	"thermctl/internal/core"
+	"thermctl/internal/node"
+	"thermctl/internal/rack"
+	"thermctl/internal/workload"
+)
+
+// RackRow is one slot's outcome in the rack study.
+type RackRow struct {
+	Slot    int
+	InletC  float64
+	DieC    float64
+	FanDuty float64
+	FreqGHz float64
+}
+
+// RackStudyResult contrasts a fixed equal fan speed against per-node
+// unified control on a rack with hot-air recirculation.
+type RackStudyResult struct {
+	Fixed   []RackRow
+	Unified []RackRow
+}
+
+// RackStudy builds a 4-slot rack with recirculation coupling, loads it
+// with cpu-burn for ten minutes, and records the steady per-slot state
+// under (a) an equal fixed 45% duty everywhere and (b) the unified
+// controller per node.
+func RackStudy(seed uint64) (*RackStudyResult, error) {
+	res := &RackStudyResult{}
+	for _, unified := range []bool{false, true} {
+		rows, err := rackRun(seed, unified)
+		if err != nil {
+			return nil, err
+		}
+		if unified {
+			res.Unified = rows
+		} else {
+			res.Fixed = rows
+		}
+	}
+	return res, nil
+}
+
+func rackRun(seed uint64, unified bool) ([]RackRow, error) {
+	var nodes []*node.Node
+	for i := 0; i < 4; i++ {
+		n, err := node.New(node.DefaultConfig(fmt.Sprintf("slot%d", i), seed+uint64(i)*101))
+		if err != nil {
+			return nil, err
+		}
+		nodes = append(nodes, n)
+	}
+	c, err := cluster.NewWithNodes(nodes, cluster.DefaultDt)
+	if err != nil {
+		return nil, err
+	}
+	c.Settle(1)
+	r, err := rack.New(rack.Default(), nodes)
+	if err != nil {
+		return nil, err
+	}
+	c.AddController(r)
+	for _, n := range nodes {
+		if unified {
+			fan, err := core.NewController(core.DefaultConfig(50),
+				core.SysfsTemp(n.FS, n.Hwmon.TempInput),
+				core.ActuatorBinding{Actuator: core.NewFanActuator(
+					&core.SysfsFanPort{FS: n.FS, Chip: n.Hwmon}, 100)})
+			if err != nil {
+				return nil, err
+			}
+			act, err := core.NewDVFSActuator(&core.SysfsFreqPort{FS: n.FS, Paths: n.Cpufreq})
+			if err != nil {
+				return nil, err
+			}
+			d, err := core.NewTDVFS(core.DefaultTDVFSConfig(50),
+				core.SysfsTemp(n.FS, n.Hwmon.TempInput), act)
+			if err != nil {
+				return nil, err
+			}
+			c.AddController(core.NewHybrid(fan, d))
+		} else {
+			port := &core.SysfsFanPort{FS: n.FS, Chip: n.Hwmon}
+			if err := port.SetDutyPercent(45); err != nil {
+				return nil, err
+			}
+		}
+	}
+	c.RunGenerator(workload.Constant(1), 10*time.Minute)
+
+	rows := make([]RackRow, len(nodes))
+	for i, n := range nodes {
+		rows[i] = RackRow{
+			Slot:    i,
+			InletC:  r.InletC(i),
+			DieC:    n.TrueDieC(),
+			FanDuty: n.Fan.Duty(),
+			FreqGHz: n.CPU.FreqGHz(),
+		}
+	}
+	return rows, nil
+}
+
+// String prints both configurations side by side.
+func (r *RackStudyResult) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Extension: 4-slot rack with hot-air recirculation, cpu-burn everywhere\n")
+	fmt.Fprintf(&sb, "  %-5s | %-28s | %-28s\n", "", "fixed 45% duty", "unified control (Pp=50)")
+	fmt.Fprintf(&sb, "  %-5s | %-8s %-9s %-8s | %-8s %-9s %-8s\n",
+		"slot", "inlet", "die degC", "duty", "inlet", "die degC", "duty")
+	for i := range r.Fixed {
+		f, u := r.Fixed[i], r.Unified[i]
+		fmt.Fprintf(&sb, "  %-5d | %-8.2f %-9.2f %-8.1f | %-8.2f %-9.2f %-8.1f\n",
+			i, f.InletC, f.DieC, f.FanDuty, u.InletC, u.DieC, u.FanDuty)
+	}
+	fmt.Fprintf(&sb, "  (the hot top slot gets proportionally more fan under unified control)\n")
+	return sb.String()
+}

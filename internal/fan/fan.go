@@ -1,0 +1,137 @@
+// Package fan models a PWM-controlled CPU cooling fan.
+//
+// The model follows the standard fan affinity laws: rotational speed is an
+// affine function of PWM duty cycle above the spin-up floor, volumetric
+// airflow is proportional to speed, and electrical power grows with the
+// cube of speed. Speed changes are first-order lagged (a real rotor has
+// inertia), which matters for the controller: a duty-cycle write does not
+// cool the die on the same sample.
+//
+// The paper's platform is a 4300 RPM fan whose continuous speed range is
+// discretized into 100 duty steps (1%..100%); Default returns that fan.
+package fan
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Config describes the static characteristics of a fan.
+type Config struct {
+	// MaxRPM is the rotational speed at 100% duty. The paper's fan tops
+	// out at 4300 RPM.
+	MaxRPM float64
+	// FloorFrac is the fraction of MaxRPM delivered at the lowest
+	// non-zero duty; real fans cannot rotate arbitrarily slowly.
+	FloorFrac float64
+	// MaxPower is the electrical power drawn at full speed, in watts.
+	MaxPower float64
+	// TimeConst is the first-order lag time constant of the rotor.
+	TimeConst time.Duration
+	// TachResolution is the RPM quantization of the tachometer readback.
+	TachResolution float64
+}
+
+// Default returns the configuration used throughout the reproduction,
+// matching the paper's 4300 RPM fan.
+func Default() Config {
+	return Config{
+		MaxRPM:         4300,
+		FloorFrac:      0.08,
+		MaxPower:       4.5,
+		TimeConst:      800 * time.Millisecond,
+		TachResolution: 30,
+	}
+}
+
+// Fan is a PWM-controlled fan instance. It is not safe for concurrent
+// use; the simulation steps all devices from a single goroutine.
+type Fan struct {
+	cfg    Config
+	duty   float64 // commanded duty, percent [0,100]
+	rpm    float64 // current (lagged) speed
+	failed bool
+}
+
+// New returns a fan with the given configuration, initially commanded to
+// dutyPercent and already spun up to the corresponding steady speed.
+func New(cfg Config, dutyPercent float64) *Fan {
+	f := &Fan{cfg: cfg}
+	f.SetDuty(dutyPercent)
+	f.rpm = f.targetRPM()
+	return f
+}
+
+// SetDuty commands a new PWM duty cycle in percent. Values are clamped
+// to [0, 100].
+func (f *Fan) SetDuty(dutyPercent float64) {
+	f.duty = math.Min(100, math.Max(0, dutyPercent))
+}
+
+// Duty returns the commanded duty cycle in percent.
+func (f *Fan) Duty() float64 { return f.duty }
+
+// SetFailed marks the fan as mechanically failed (seized rotor): it
+// spins down regardless of the commanded duty, and the tachometer will
+// report the stall. Fan failure is a standard thermal-management test
+// case (the paper's related work reacts to it with DVFS).
+func (f *Fan) SetFailed(failed bool) { f.failed = failed }
+
+// Failed reports whether the fan is failed.
+func (f *Fan) Failed() bool { return f.failed }
+
+// targetRPM is the steady-state speed for the commanded duty.
+func (f *Fan) targetRPM() float64 {
+	if f.failed || f.duty <= 0 {
+		return 0
+	}
+	frac := f.cfg.FloorFrac + (1-f.cfg.FloorFrac)*f.duty/100
+	return f.cfg.MaxRPM * frac
+}
+
+// Step advances the rotor dynamics by dt.
+func (f *Fan) Step(dt time.Duration) {
+	target := f.targetRPM()
+	tau := f.cfg.TimeConst.Seconds()
+	if tau <= 0 {
+		f.rpm = target
+		return
+	}
+	alpha := 1 - math.Exp(-dt.Seconds()/tau)
+	f.rpm += alpha * (target - f.rpm)
+}
+
+// RPM returns the true current rotational speed.
+func (f *Fan) RPM() float64 { return f.rpm }
+
+// TachRPM returns the speed as reported by the tachometer, quantized to
+// the tach resolution.
+func (f *Fan) TachRPM() float64 {
+	if f.cfg.TachResolution <= 0 {
+		return f.rpm
+	}
+	return math.Round(f.rpm/f.cfg.TachResolution) * f.cfg.TachResolution
+}
+
+// Airflow returns the normalized volumetric airflow in [0, 1], which by
+// the fan laws is proportional to rotational speed.
+func (f *Fan) Airflow() float64 {
+	if f.cfg.MaxRPM <= 0 {
+		return 0
+	}
+	return f.rpm / f.cfg.MaxRPM
+}
+
+// Power returns the electrical power drawn by the fan in watts. Fan
+// power scales with the cube of speed, which is why aggressive cooling
+// policies carry a measurable power cost.
+func (f *Fan) Power() float64 {
+	x := f.Airflow()
+	return f.cfg.MaxPower * x * x * x
+}
+
+// String summarizes the fan state for logs.
+func (f *Fan) String() string {
+	return fmt.Sprintf("fan{duty=%.0f%% rpm=%.0f}", f.duty, f.rpm)
+}

@@ -1,0 +1,144 @@
+// Package hotspot identifies which phases of a workload drive the
+// temperature — a lumped re-creation of Tempest, the authors' earlier
+// tool for finding hot spots in parallel code (the paper's reference
+// [28], and the provenance of its Figure 2 behaviour taxonomy).
+//
+// Given a temperature time series and a set of labelled spans (program
+// phases, loop nests, communication epochs), Analyze attributes thermal
+// statistics to each label: mean and peak temperature, net temperature
+// rise, and heating rate. Rank orders labels by how hard they push the
+// die, which is where an engineer looks first when a code section
+// triggers thermal emergencies.
+package hotspot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"thermctl/internal/trace"
+)
+
+// Span is one labelled interval of the run. Spans may repeat a label
+// (every iteration of a phase) and may be unordered.
+type Span struct {
+	Label string
+	Start time.Duration
+	End   time.Duration
+}
+
+// Stats aggregates the thermal behaviour of one label across all its
+// spans.
+type Stats struct {
+	Label string
+	// Spans is how many intervals carried the label.
+	Spans int
+	// Time is the total labelled duration.
+	Time time.Duration
+	// MeanC and MaxC are computed over every sample inside the spans.
+	MeanC float64
+	MaxC  float64
+	// RiseC is the summed net temperature change across the spans: the
+	// label's total heating contribution.
+	RiseC float64
+	// RatePerMin is RiseC normalized by labelled time, °C per minute —
+	// the label's heating intensity.
+	RatePerMin float64
+
+	sampleCount int // samples merged into MeanC so far
+}
+
+// Report is the full attribution.
+type Report struct {
+	Stats map[string]*Stats
+}
+
+// Analyze attributes the series to the spans. Samples outside every
+// span are ignored. It returns an error when no span contains any
+// sample.
+func Analyze(temp *trace.Series, spans []Span) (*Report, error) {
+	if temp == nil || temp.Len() == 0 {
+		return nil, fmt.Errorf("hotspot: empty temperature series")
+	}
+	rep := &Report{Stats: make(map[string]*Stats)}
+	matched := false
+	for _, sp := range spans {
+		if sp.End <= sp.Start {
+			return nil, fmt.Errorf("hotspot: span %q ends (%v) before it starts (%v)", sp.Label, sp.End, sp.Start)
+		}
+		st := rep.Stats[sp.Label]
+		if st == nil {
+			st = &Stats{Label: sp.Label, MaxC: math.Inf(-1)}
+			rep.Stats[sp.Label] = st
+		}
+		var sum float64
+		var n int
+		first, last := math.NaN(), math.NaN()
+		for _, p := range temp.Points {
+			if p.T < sp.Start || p.T >= sp.End {
+				continue
+			}
+			if n == 0 {
+				first = p.V
+			}
+			last = p.V
+			sum += p.V
+			if p.V > st.MaxC {
+				st.MaxC = p.V
+			}
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		matched = true
+		st.Spans++
+		st.Time += sp.End - sp.Start
+		// Merge the mean incrementally across spans.
+		prevWeight := st.MeanC * float64(st.sampleCount)
+		st.sampleCount += n
+		st.MeanC = (prevWeight + sum) / float64(st.sampleCount)
+		st.RiseC += last - first
+	}
+	if !matched {
+		return nil, fmt.Errorf("hotspot: no sample falls inside any span")
+	}
+	for _, st := range rep.Stats {
+		if mins := st.Time.Minutes(); mins > 0 {
+			st.RatePerMin = st.RiseC / mins
+		}
+	}
+	return rep, nil
+}
+
+// Rank returns the labels ordered hottest-first: primarily by peak
+// temperature, then by heating rate.
+func (r *Report) Rank() []*Stats {
+	out := make([]*Stats, 0, len(r.Stats))
+	for _, st := range r.Stats {
+		if st.Spans > 0 {
+			out = append(out, st)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].MaxC != out[j].MaxC {
+			return out[i].MaxC > out[j].MaxC
+		}
+		return out[i].RatePerMin > out[j].RatePerMin
+	})
+	return out
+}
+
+// String prints the ranking as a table.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-14s %-7s %-9s %-9s %-9s %-10s\n",
+		"phase", "spans", "time s", "mean degC", "max degC", "degC/min")
+	for _, st := range r.Rank() {
+		fmt.Fprintf(&sb, "%-14s %-7d %-9.1f %-9.2f %-9.2f %-+10.2f\n",
+			st.Label, st.Spans, st.Time.Seconds(), st.MeanC, st.MaxC, st.RatePerMin)
+	}
+	return sb.String()
+}

@@ -1,0 +1,223 @@
+// Package i2c simulates a register-level I²C/SMBus segment.
+//
+// The paper's fan controller (an Analog Devices ADT7467) hangs off an i2c
+// bus reached through a PCI adapter; the authors wrote a Linux device
+// driver that speaks SMBus byte-data transactions to it. This package
+// reproduces that wire interface: a Bus multiplexes 7-bit addresses onto
+// register-addressable devices, returns NACK errors for absent targets,
+// counts transactions, and can inject transient failures so drivers can
+// be tested against flaky hardware.
+package i2c
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"thermctl/internal/rng"
+)
+
+// ErrNACK is returned when no device acknowledges the addressed transfer.
+var ErrNACK = errors.New("i2c: no acknowledge from device")
+
+// ErrBusFault is returned for injected transient bus failures
+// (arbitration loss, glitched clock).
+var ErrBusFault = errors.New("i2c: transient bus fault")
+
+// Device is a register-addressable i2c target such as the ADT7467.
+// Implementations are called with the bus lock held.
+type Device interface {
+	// ReadReg returns the value of an 8-bit register.
+	ReadReg(reg uint8) (uint8, error)
+	// WriteReg sets an 8-bit register.
+	WriteReg(reg uint8, val uint8) error
+}
+
+// Stats counts bus traffic.
+type Stats struct {
+	Reads, Writes uint64
+	NACKs         uint64
+	Faults        uint64
+}
+
+// Bus is one i2c segment. Methods are safe for concurrent use: an i2c
+// bus is a shared medium and both the host driver and the BMC use it.
+type Bus struct {
+	mu        sync.Mutex
+	devices   map[uint8]Device
+	stats     Stats
+	faultRate float64
+	faults    *rng.Source
+}
+
+// NewBus returns an empty bus.
+func NewBus() *Bus {
+	return &Bus{devices: make(map[uint8]Device)}
+}
+
+// Attach places dev at the 7-bit address addr. It returns an error if the
+// address is already occupied or outside the 7-bit range.
+func (b *Bus) Attach(addr uint8, dev Device) error {
+	if addr > 0x7f {
+		return fmt.Errorf("i2c: address %#x exceeds 7 bits", addr)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.devices[addr]; ok {
+		return fmt.Errorf("i2c: address %#x already occupied", addr)
+	}
+	b.devices[addr] = dev
+	return nil
+}
+
+// Detach removes the device at addr, if any.
+func (b *Bus) Detach(addr uint8) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.devices, addr)
+}
+
+// SetFaultInjection makes a fraction rate of transactions fail with
+// ErrBusFault, drawing from the given stream. rate 0 (or a nil stream)
+// disables injection.
+func (b *Bus) SetFaultInjection(rate float64, src *rng.Source) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.faultRate = rate
+	b.faults = src
+}
+
+func (b *Bus) injectLocked() bool {
+	if b.faultRate <= 0 || b.faults == nil {
+		return false
+	}
+	if b.faults.Float64() < b.faultRate {
+		b.stats.Faults++
+		return true
+	}
+	return false
+}
+
+// ReadByteData performs an SMBus "read byte data" transaction: write the
+// register pointer, repeated-start, read one byte.
+func (b *Bus) ReadByteData(addr, reg uint8) (uint8, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.stats.Reads++
+	if b.injectLocked() {
+		return 0, ErrBusFault
+	}
+	dev, ok := b.devices[addr]
+	if !ok {
+		b.stats.NACKs++
+		return 0, fmt.Errorf("%w (address %#x)", ErrNACK, addr)
+	}
+	return dev.ReadReg(reg)
+}
+
+// WriteByteData performs an SMBus "write byte data" transaction.
+func (b *Bus) WriteByteData(addr, reg, val uint8) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.stats.Writes++
+	if b.injectLocked() {
+		return ErrBusFault
+	}
+	dev, ok := b.devices[addr]
+	if !ok {
+		b.stats.NACKs++
+		return fmt.Errorf("%w (address %#x)", ErrNACK, addr)
+	}
+	return dev.WriteReg(reg, val)
+}
+
+// ReadWordData reads two consecutive registers as a little-endian word,
+// the layout used by the ADT7467's tachometer counters.
+func (b *Bus) ReadWordData(addr, reg uint8) (uint16, error) {
+	lo, err := b.ReadByteData(addr, reg)
+	if err != nil {
+		return 0, err
+	}
+	hi, err := b.ReadByteData(addr, reg+1)
+	if err != nil {
+		return 0, err
+	}
+	return uint16(lo) | uint16(hi)<<8, nil
+}
+
+// Scan returns the sorted addresses that acknowledge, as `i2cdetect`
+// would report.
+func (b *Bus) Scan() []uint8 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	addrs := make([]uint8, 0, len(b.devices))
+	for a := range b.devices {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	return addrs
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (b *Bus) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stats
+}
+
+// RegisterFile is a helper for building devices: a 256-byte register
+// space with optional per-register read/write hooks. Devices embed it
+// and install hooks for the registers with side effects.
+type RegisterFile struct {
+	regs      [256]uint8
+	readHook  map[uint8]func() uint8
+	writeHook map[uint8]func(uint8)
+	readOnly  map[uint8]bool
+}
+
+// NewRegisterFile returns an empty register file.
+func NewRegisterFile() *RegisterFile {
+	return &RegisterFile{
+		readHook:  make(map[uint8]func() uint8),
+		writeHook: make(map[uint8]func(uint8)),
+		readOnly:  make(map[uint8]bool),
+	}
+}
+
+// Set stores a value directly, bypassing hooks and read-only protection.
+func (rf *RegisterFile) Set(reg, val uint8) { rf.regs[reg] = val }
+
+// Get loads a value directly, bypassing hooks.
+func (rf *RegisterFile) Get(reg uint8) uint8 { return rf.regs[reg] }
+
+// OnRead installs a hook whose result is returned (and stored) when reg
+// is read.
+func (rf *RegisterFile) OnRead(reg uint8, fn func() uint8) { rf.readHook[reg] = fn }
+
+// OnWrite installs a hook called after a bus write stores to reg.
+func (rf *RegisterFile) OnWrite(reg uint8, fn func(uint8)) { rf.writeHook[reg] = fn }
+
+// MarkReadOnly makes bus writes to reg fail, as writes to measurement
+// registers do on real silicon.
+func (rf *RegisterFile) MarkReadOnly(reg uint8) { rf.readOnly[reg] = true }
+
+// ReadReg implements Device.
+func (rf *RegisterFile) ReadReg(reg uint8) (uint8, error) {
+	if fn, ok := rf.readHook[reg]; ok {
+		rf.regs[reg] = fn()
+	}
+	return rf.regs[reg], nil
+}
+
+// WriteReg implements Device.
+func (rf *RegisterFile) WriteReg(reg, val uint8) error {
+	if rf.readOnly[reg] {
+		return fmt.Errorf("i2c: register %#x is read-only", reg)
+	}
+	rf.regs[reg] = val
+	if fn, ok := rf.writeHook[reg]; ok {
+		fn(val)
+	}
+	return nil
+}

@@ -1,0 +1,197 @@
+package ipmi
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"thermctl/internal/adt7467"
+)
+
+// SensorReader supplies one sensor's current value.
+type SensorReader func() float64
+
+// SensorRecord describes one entry of the BMC's sensor data repository.
+type SensorRecord struct {
+	Number uint8
+	Name   string
+	Unit   string // "degrees C", "RPM", "Watts"
+	Read   SensorReader
+}
+
+// BMC is the baseboard management controller of one node. It owns a
+// sensor repository and (optionally) an ADT7467 driver on its private
+// i2c master for out-of-band fan control. Safe for concurrent use.
+type BMC struct {
+	mu       sync.Mutex
+	sensors  map[uint8]SensorRecord
+	fan      *adt7467.Driver
+	deviceID [2]byte
+	handled  uint64
+}
+
+// NewBMC returns a BMC with an empty sensor repository. fanDrv may be
+// nil for nodes whose fans are not BMC-managed.
+func NewBMC(fanDrv *adt7467.Driver) *BMC {
+	return &BMC{
+		sensors:  make(map[uint8]SensorRecord),
+		fan:      fanDrv,
+		deviceID: [2]byte{0x20, 0x01}, // device ID, firmware major
+	}
+}
+
+// AddSensor registers a sensor record. It returns an error if the
+// number is taken.
+func (b *BMC) AddSensor(rec SensorRecord) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.sensors[rec.Number]; ok {
+		return fmt.Errorf("ipmi: sensor %d already present", rec.Number)
+	}
+	if rec.Read == nil {
+		return fmt.Errorf("ipmi: sensor %d has no reader", rec.Number)
+	}
+	b.sensors[rec.Number] = rec
+	return nil
+}
+
+// Sensors lists the repository sorted by sensor number.
+func (b *BMC) Sensors() []SensorRecord {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]SensorRecord, 0, len(b.sensors))
+	for _, r := range b.sensors {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Number < out[j].Number })
+	return out
+}
+
+// Handled returns the number of requests processed, for tests and
+// observability.
+func (b *BMC) Handled() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.handled
+}
+
+// Handle implements Handler.
+func (b *BMC) Handle(req Request) Response {
+	b.mu.Lock()
+	b.handled++
+	b.mu.Unlock()
+	switch {
+	case req.NetFn == NetFnApp && req.Cmd == CmdGetDeviceID:
+		return Response{CC: CCOK, Data: b.deviceID[:]}
+	case req.NetFn == NetFnSensor && req.Cmd == CmdGetSensorReading:
+		return b.getSensor(req)
+	case req.NetFn == NetFnSensor && req.Cmd == CmdGetSDRCount:
+		b.mu.Lock()
+		n := len(b.sensors)
+		b.mu.Unlock()
+		return Response{CC: CCOK, Data: []byte{byte(n)}}
+	case req.NetFn == NetFnSensor && req.Cmd == CmdGetSDR:
+		return b.getSDR(req)
+	case req.NetFn == NetFnOEM:
+		return b.oem(req)
+	default:
+		return Response{CC: CCInvalidCommand}
+	}
+}
+
+// getSensor returns the reading as a signed decimal-scaled value:
+// one signed exponent byte e followed by a signed 32-bit big-endian
+// mantissa m, reading = m·10^e. Temperatures and power use e=-2
+// (centi-units, preserving the lm-sensors resolution the controller
+// needs — raw IPMI's 8-bit readings would quantize too hard); RPM uses
+// e=0 so multi-thousand readings cannot overflow.
+func (b *BMC) getSensor(req Request) Response {
+	if len(req.Data) != 1 {
+		return Response{CC: CCParamOutOfRange}
+	}
+	b.mu.Lock()
+	rec, ok := b.sensors[req.Data[0]]
+	b.mu.Unlock()
+	if !ok {
+		return Response{CC: CCSensorNotFound}
+	}
+	v := rec.Read()
+	exp := int8(-2)
+	if rec.Unit == "RPM" {
+		exp = 0
+	}
+	m := int32(math.Round(v * math.Pow(10, -float64(exp))))
+	um := uint32(m)
+	return Response{CC: CCOK, Data: []byte{
+		byte(exp), byte(um >> 24), byte(um >> 16), byte(um >> 8), byte(um),
+	}}
+}
+
+// getSDR returns record data for the idx-th sensor (sorted by number):
+// [sensor number, unit code, name...]. Unit codes: 0 °C, 1 RPM, 2 W,
+// 255 other.
+func (b *BMC) getSDR(req Request) Response {
+	if len(req.Data) != 1 {
+		return Response{CC: CCParamOutOfRange}
+	}
+	recs := b.Sensors()
+	idx := int(req.Data[0])
+	if idx >= len(recs) {
+		return Response{CC: CCSensorNotFound}
+	}
+	rec := recs[idx]
+	unit := byte(0xFF)
+	switch rec.Unit {
+	case "degrees C":
+		unit = 0
+	case "RPM":
+		unit = 1
+	case "Watts":
+		unit = 2
+	}
+	data := append([]byte{rec.Number, unit}, []byte(rec.Name)...)
+	return Response{CC: CCOK, Data: data}
+}
+
+func (b *BMC) oem(req Request) Response {
+	if b.fan == nil {
+		return Response{CC: CCInvalidCommand}
+	}
+	switch req.Cmd {
+	case CmdOEMGetFanDuty:
+		d, err := b.fan.Duty()
+		if err != nil {
+			return Response{CC: CCUnspecified}
+		}
+		return Response{CC: CCOK, Data: []byte{byte(math.Round(d))}}
+	case CmdOEMSetFanDuty:
+		if len(req.Data) != 1 || req.Data[0] > 100 {
+			return Response{CC: CCParamOutOfRange}
+		}
+		if err := b.fan.SetDuty(float64(req.Data[0])); err != nil {
+			return Response{CC: CCUnspecified}
+		}
+		return Response{CC: CCOK}
+	case CmdOEMGetFanMode:
+		m, err := b.fan.Manual()
+		if err != nil {
+			return Response{CC: CCUnspecified}
+		}
+		mode := byte(FanModeAuto)
+		if m {
+			mode = FanModeManual
+		}
+		return Response{CC: CCOK, Data: []byte{mode}}
+	case CmdOEMSetFanMode:
+		if len(req.Data) != 1 || req.Data[0] > FanModeManual {
+			return Response{CC: CCParamOutOfRange}
+		}
+		if err := b.fan.SetManual(req.Data[0] == FanModeManual); err != nil {
+			return Response{CC: CCUnspecified}
+		}
+		return Response{CC: CCOK}
+	default:
+		return Response{CC: CCInvalidCommand}
+	}
+}

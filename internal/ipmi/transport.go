@@ -1,0 +1,144 @@
+package ipmi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Server serves BMC requests over a stream listener (the RMCP-lite LAN
+// channel of this reproduction).
+type Server struct {
+	h  Handler
+	ln net.Listener
+	wg sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Serve starts serving h on ln in background goroutines and returns
+// immediately. Close the server to stop.
+func Serve(ln net.Listener, h Handler) *Server {
+	s := &Server{h: h, ln: ln}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// ListenAndServe listens on addr ("host:port"; use ":0" or
+// "127.0.0.1:0" for an ephemeral port) and serves h.
+func ListenAndServe(addr string, h Handler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ipmi: listen: %w", err)
+	}
+	return Serve(ln, h), nil
+}
+
+// Addr returns the listener's address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops accepting and waits for in-flight connections to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	for {
+		body, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		req, err := DecodeRequest(body)
+		var resp Response
+		if err != nil {
+			resp = Response{CC: CCInvalidCommand}
+		} else {
+			resp = s.h.Handle(req)
+		}
+		frame, err := EncodeResponse(resp)
+		if err != nil {
+			frame, _ = EncodeResponse(Response{CC: CCUnspecified})
+		}
+		if _, err := conn.Write(frame); err != nil {
+			return
+		}
+	}
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var lenBuf [2]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint16(lenBuf[:])
+	if int(n) > maxFrame {
+		return nil, fmt.Errorf("ipmi: frame length %d exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// TCPClient is a Transport over one TCP connection. Safe for concurrent
+// use; requests are serialized on the connection.
+type TCPClient struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// Dial connects to an ipmi Server at addr.
+func Dial(addr string) (*TCPClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("ipmi: dial: %w", err)
+	}
+	return &TCPClient{conn: conn}, nil
+}
+
+// Send implements Transport.
+func (c *TCPClient) Send(req Request) (Response, error) {
+	frame, err := EncodeRequest(req)
+	if err != nil {
+		return Response{}, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.conn.Write(frame); err != nil {
+		return Response{}, fmt.Errorf("ipmi: send: %w", err)
+	}
+	body, err := readFrame(c.conn)
+	if err != nil {
+		return Response{}, fmt.Errorf("ipmi: recv: %w", err)
+	}
+	return DecodeResponse(body)
+}
+
+// Close closes the connection.
+func (c *TCPClient) Close() error { return c.conn.Close() }

@@ -1,0 +1,127 @@
+// Package rack models the air-side thermal coupling between nodes in a
+// rack: every server's exhaust is warmer than its inlet by an amount
+// proportional to its power draw, and a fraction of that exhaust
+// recirculates into the inlets of the servers above it instead of
+// returning to the CRAC. The result is the vertical hot spot the
+// paper's introduction describes — "hot spots or pockets of elevated
+// temperatures ... can be easily formed when room air circulation is
+// not effective."
+//
+// The model is deliberately lumped (no CFD): node i's inlet targets
+//
+//	inlet_i = supply + Σ_{j<i} recirc^(i-j) · ΔT_exhaust_j,
+//
+// with ΔT_exhaust_j = K·P_j, and the actual inlet lags the target with
+// a first-order mixing time constant. Coupled with the per-node RC
+// networks this reproduces the phenomenology that matters to the
+// controllers: top-of-rack nodes run hotter, their fans must work
+// harder for the same die temperature, and a power change anywhere
+// propagates upward within tens of seconds.
+package rack
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"thermctl/internal/node"
+)
+
+// Config parameterizes the air model.
+type Config struct {
+	// SupplyC is the CRAC supply (cold-aisle) temperature.
+	SupplyC float64
+	// ExhaustKPerW converts node power to exhaust temperature rise
+	// (1/(ṁ·cp) of the chassis airflow). A 1U box moving ~30 CFM gives
+	// about 0.06 K/W.
+	ExhaustKPerW float64
+	// RecircFrac is the fraction of a node's exhaust heat reaching the
+	// inlet one slot up; it decays geometrically with distance.
+	RecircFrac float64
+	// MixTimeConst is the first-order lag of inlet air composition.
+	MixTimeConst time.Duration
+}
+
+// Default returns a plausibly calibrated rack: 27 °C supply, 0.06 K/W
+// exhaust rise, 30% recirculation per slot, 20 s mixing.
+func Default() Config {
+	return Config{
+		SupplyC:      27,
+		ExhaustKPerW: 0.06,
+		RecircFrac:   0.30,
+		MixTimeConst: 20 * time.Second,
+	}
+}
+
+// Rack couples an ordered set of nodes (index 0 = bottom slot). It
+// implements the cluster Controller interface so it can be attached to
+// a cluster like any daemon; on each step it updates every node's
+// ambient temperature.
+type Rack struct {
+	cfg    Config
+	nodes  []*node.Node
+	inletC []float64
+	last   time.Duration
+}
+
+// New couples the nodes. Their current ambient is immediately set to
+// the steady-state inlet profile for their current power draw.
+func New(cfg Config, nodes []*node.Node) (*Rack, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("rack: no nodes")
+	}
+	if cfg.RecircFrac < 0 || cfg.RecircFrac >= 1 {
+		return nil, fmt.Errorf("rack: recirculation fraction %v outside [0,1)", cfg.RecircFrac)
+	}
+	r := &Rack{cfg: cfg, nodes: nodes, inletC: make([]float64, len(nodes))}
+	targets := r.targets()
+	copy(r.inletC, targets)
+	for i, n := range nodes {
+		n.Thermal.SetAmbientC(r.inletC[i])
+	}
+	return r, nil
+}
+
+// targets returns the steady-state inlet temperature per slot for the
+// nodes' instantaneous power draw.
+func (r *Rack) targets() []float64 {
+	out := make([]float64, len(r.nodes))
+	rises := make([]float64, len(r.nodes))
+	for i, n := range r.nodes {
+		rises[i] = r.cfg.ExhaustKPerW * n.Power().Total()
+	}
+	for i := range r.nodes {
+		t := r.cfg.SupplyC
+		f := r.cfg.RecircFrac
+		for j := i - 1; j >= 0; j-- {
+			t += f * rises[j]
+			f *= r.cfg.RecircFrac
+		}
+		out[i] = t
+	}
+	return out
+}
+
+// InletC returns slot i's current inlet temperature.
+func (r *Rack) InletC(i int) float64 { return r.inletC[i] }
+
+// OnStep implements the cluster Controller interface: advance the air
+// mixing and push the inlet temperatures into the nodes' thermal
+// networks.
+func (r *Rack) OnStep(now time.Duration) {
+	dt := now - r.last
+	r.last = now
+	if dt <= 0 {
+		return
+	}
+	targets := r.targets()
+	tau := r.cfg.MixTimeConst.Seconds()
+	alpha := 1.0
+	if tau > 0 {
+		alpha = 1 - math.Exp(-dt.Seconds()/tau)
+	}
+	for i, n := range r.nodes {
+		r.inletC[i] += alpha * (targets[i] - r.inletC[i])
+		n.Thermal.SetAmbientC(r.inletC[i])
+	}
+}

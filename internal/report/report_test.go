@@ -1,0 +1,60 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"thermctl/internal/experiment"
+)
+
+func TestCollectAndMarkdown(t *testing.T) {
+	all, err := Collect(experiment.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := all.Markdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	// Every section present.
+	for _, want := range []string{
+		"# Reproduction report",
+		"## Figure 2", "## Figure 5", "## Figure 6", "## Figure 7",
+		"## Figure 8", "## Figure 9", "## Table 1", "## Figure 10",
+		"## Extensions",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing section %q", want)
+		}
+	}
+	// The verdict machinery mirrors the test suite: on the fixed seed,
+	// no paper-claim section may report a deviation (the two documented
+	// deviations are prose items in EXPERIMENTS.md, asserted with
+	// widened predicates both there and here).
+	if n := strings.Count(out, "DEVIATION"); n != 0 {
+		t.Errorf("report carries %d DEVIATION verdicts:\n%s", n, out)
+	}
+	// Paper reference values appear alongside measurements.
+	if !strings.Contains(out, "paper ≈8") || !strings.Contains(out, "+4.76%") {
+		t.Error("paper reference values missing")
+	}
+}
+
+func TestMarkdownDeterministic(t *testing.T) {
+	render := func() string {
+		all, err := Collect(experiment.Seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := all.Markdown(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	if render() != render() {
+		t.Error("generated report not byte-identical across runs")
+	}
+}

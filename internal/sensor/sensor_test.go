@@ -1,0 +1,132 @@
+package sensor
+
+import (
+	"math"
+	"testing"
+
+	"thermctl/internal/rng"
+)
+
+func TestQuantization(t *testing.T) {
+	s := New(Config{Quantum: 0.25}, SourceFunc(func() float64 { return 51.37 }), nil)
+	got := s.Read()
+	if got != 51.25 && got != 51.5 {
+		t.Errorf("quantized read = %v, want multiple of 0.25 near 51.37", got)
+	}
+	if r := math.Mod(got, 0.25); math.Abs(r) > 1e-9 {
+		t.Errorf("read %v is not a multiple of the 0.25 quantum", got)
+	}
+}
+
+func TestNoNoiseWithoutStream(t *testing.T) {
+	s := New(Config{Quantum: 0, NoiseStd: 5}, SourceFunc(func() float64 { return 40 }), nil)
+	for i := 0; i < 10; i++ {
+		if got := s.Read(); got != 40 {
+			t.Fatalf("read with nil noise stream = %v, want exact 40", got)
+		}
+	}
+}
+
+func TestOffsetApplied(t *testing.T) {
+	s := New(Config{Offset: 1.5}, SourceFunc(func() float64 { return 40 }), nil)
+	if got := s.Read(); got != 41.5 {
+		t.Errorf("read with offset = %v, want 41.5", got)
+	}
+}
+
+func TestNoiseStatistics(t *testing.T) {
+	src := SourceFunc(func() float64 { return 50 })
+	s := New(Config{NoiseStd: 0.15}, src, rng.New(1))
+	const n = 20000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := s.Read()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	std := math.Sqrt(sumSq/n - mean*mean)
+	if math.Abs(mean-50) > 0.01 {
+		t.Errorf("noisy mean = %v, want ~50", mean)
+	}
+	if math.Abs(std-0.15) > 0.02 {
+		t.Errorf("noise std = %v, want ~0.15", std)
+	}
+}
+
+func TestDefaultRealism(t *testing.T) {
+	s := New(Default(), SourceFunc(func() float64 { return 51.0 }), rng.New(7))
+	for i := 0; i < 1000; i++ {
+		v := s.Read()
+		if v < 50 || v > 52 {
+			t.Fatalf("default sensor read %v strayed more than 1°C from truth", v)
+		}
+	}
+}
+
+func TestMillidegrees(t *testing.T) {
+	s := New(Config{}, SourceFunc(func() float64 { return 51.25 }), nil)
+	if got := s.Millidegrees(); got != 51250 {
+		t.Errorf("Millidegrees = %v, want 51250", got)
+	}
+}
+
+func TestTickKeyedReadsAreStableWithinTick(t *testing.T) {
+	// With a tick source installed, any number of reads within one tick
+	// return the identical value — attaching observers cannot perturb
+	// the noise stream.
+	tick := uint64(0)
+	s := New(Default(), SourceFunc(func() float64 { return 50 }), rng.New(5))
+	s.SetTickSource(func() uint64 { return tick })
+	first := s.Read()
+	for i := 0; i < 10; i++ {
+		if got := s.Read(); got != first {
+			t.Fatalf("read %d within one tick = %v, first was %v", i, got, first)
+		}
+	}
+	tick++
+	changed := false
+	for i := 0; i < 50 && !changed; i++ {
+		if s.Read() != first {
+			changed = true
+		}
+		tick++
+	}
+	if !changed {
+		t.Error("advancing ticks never produced a different sample")
+	}
+}
+
+func TestTickKeyedNoiseStatistics(t *testing.T) {
+	tick := uint64(0)
+	s := New(Config{NoiseStd: 0.15}, SourceFunc(func() float64 { return 50 }), rng.New(9))
+	s.SetTickSource(func() uint64 { return tick })
+	const n = 20000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := s.Read()
+		sum += v
+		sumSq += v * v
+		tick++
+	}
+	mean := sum / n
+	std := math.Sqrt(sumSq/n - mean*mean)
+	if math.Abs(mean-50) > 0.01 {
+		t.Errorf("tick-keyed mean = %v", mean)
+	}
+	if math.Abs(std-0.15) > 0.02 {
+		t.Errorf("tick-keyed std = %v, want ~0.15", std)
+	}
+}
+
+func TestDeterministicWithSameSeed(t *testing.T) {
+	mk := func() *Sensor {
+		return New(Default(), SourceFunc(func() float64 { return 45 }), rng.New(99))
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 100; i++ {
+		if a.Read() != b.Read() {
+			t.Fatal("sensor reads with identical seeds diverged")
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package simclock
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// Property tests on the clock's scheduling invariants.
+
+func TestEventNeverFiresBeforeDeadline(t *testing.T) {
+	if err := quick.Check(func(dtMs, delayMs uint16) bool {
+		dt := time.Duration(dtMs%500+1) * time.Millisecond
+		delay := time.Duration(delayMs%5000) * time.Millisecond
+		c := NewClock(dt)
+		ok := true
+		c.After(delay, func(now time.Duration) {
+			if now < delay {
+				ok = false
+			}
+		})
+		c.Run(6 * time.Second)
+		return ok
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPeriodicFiringCountMatchesElapsed(t *testing.T) {
+	if err := quick.Check(func(periodMs uint16, runs uint8) bool {
+		period := time.Duration(periodMs%900+100) * time.Millisecond
+		total := time.Duration(runs%20+1) * time.Second
+		c := NewClock(100 * time.Millisecond)
+		n := 0
+		c.Every(period, func(time.Duration) { n++ })
+		c.Run(total)
+		// The clock runs to the first step boundary ≥ total; every
+		// period boundary in (0, Now] fires exactly once.
+		want := int(c.Now() / period)
+		return n == want
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunAlwaysReachesDeadline(t *testing.T) {
+	if err := quick.Check(func(dtMs uint16, dMs uint32) bool {
+		dt := time.Duration(dtMs%1000+1) * time.Millisecond
+		d := time.Duration(dMs%10000) * time.Millisecond
+		c := NewClock(dt)
+		before := c.Now()
+		c.Run(d)
+		if c.Now() < before+d {
+			return false
+		}
+		// ... and overshoots by less than one step.
+		return c.Now()-(before+d) < dt
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

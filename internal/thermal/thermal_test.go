@@ -1,0 +1,153 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNewStartsAtAmbient(t *testing.T) {
+	n := New(Default())
+	if n.DieC() != 27 || n.SinkC() != 27 {
+		t.Errorf("fresh network die=%v sink=%v, want ambient 27", n.DieC(), n.SinkC())
+	}
+}
+
+func TestRsaMonotoneDecreasingInAirflow(t *testing.T) {
+	n := New(Default())
+	if err := quick.Check(func(a, b uint8) bool {
+		fa, fb := float64(a)/255, float64(b)/255
+		if fa > fb {
+			fa, fb = fb, fa
+		}
+		return n.RsaKPerW(fa) >= n.RsaKPerW(fb)-1e-12
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRsaClampsAirflow(t *testing.T) {
+	n := New(Default())
+	if n.RsaKPerW(-1) != n.RsaKPerW(0) {
+		t.Error("negative airflow not clamped")
+	}
+	if n.RsaKPerW(2) != n.RsaKPerW(1) {
+		t.Error("airflow above 1 not clamped")
+	}
+}
+
+func TestSettleMatchesSteadyState(t *testing.T) {
+	n := New(Default())
+	n.Settle(60, 0.7)
+	want := n.SteadyDieC(60, 0.7)
+	if math.Abs(n.DieC()-want) > 1e-9 {
+		t.Errorf("settled die %v, steady-state predicts %v", n.DieC(), want)
+	}
+}
+
+func TestStepConvergesToSteadyState(t *testing.T) {
+	n := New(Default())
+	for i := 0; i < 4000; i++ { // 1000 s
+		n.Step(250*time.Millisecond, 60, 0.7)
+	}
+	want := n.SteadyDieC(60, 0.7)
+	if math.Abs(n.DieC()-want) > 0.05 {
+		t.Errorf("die after long run = %v, steady state = %v", n.DieC(), want)
+	}
+}
+
+func TestDieRespondsFasterThanSink(t *testing.T) {
+	n := New(Default())
+	n.Settle(15, 0.2)
+	die0, sink0 := n.DieC(), n.SinkC()
+	// Apply a power step for 5 seconds.
+	for i := 0; i < 20; i++ {
+		n.Step(250*time.Millisecond, 60, 0.2)
+	}
+	dieRise := n.DieC() - die0
+	sinkRise := n.SinkC() - sink0
+	if dieRise <= sinkRise {
+		t.Errorf("die rise %v not faster than sink rise %v after power step", dieRise, sinkRise)
+	}
+	if dieRise < 2 {
+		t.Errorf("die rise after 5 s of a 45 W step = %v °C, want noticeable (>2)", dieRise)
+	}
+}
+
+func TestStabilityAtLargeStep(t *testing.T) {
+	// Sub-stepping must keep Euler stable even with a 10 s caller step.
+	n := New(Default())
+	for i := 0; i < 100; i++ {
+		n.Step(10*time.Second, 60, 0.5)
+		if n.DieC() < 0 || n.DieC() > 200 || math.IsNaN(n.DieC()) {
+			t.Fatalf("instability at step %d: die=%v", i, n.DieC())
+		}
+	}
+	want := n.SteadyDieC(60, 0.5)
+	if math.Abs(n.DieC()-want) > 0.1 {
+		t.Errorf("large-step run converged to %v, want %v", n.DieC(), want)
+	}
+}
+
+// TestCalibration checks the operating points this reproduction is tuned
+// to, which anchor every experiment:
+//
+//	busy CPU (~60 W) at 75% fan duty  → ≈50 °C   (paper Fig. 5/6 range)
+//	busy CPU at 25% duty              → ≈60 °C   (above the 51 °C tDVFS threshold)
+//	idle CPU (~15 W) at low duty      → high 30s  (paper Fig. 2 baseline)
+func TestCalibration(t *testing.T) {
+	n := New(Default())
+	// Airflow for duty d with the default fan: 0.08 + 0.92·d/100.
+	airflow := func(duty float64) float64 { return 0.08 + 0.92*duty/100 }
+
+	busy75 := n.SteadyDieC(60, airflow(75))
+	if busy75 < 46 || busy75 > 54 {
+		t.Errorf("busy @75%% duty = %.1f °C, want 46..54", busy75)
+	}
+	busy25 := n.SteadyDieC(60, airflow(25))
+	if busy25 < 55 || busy25 > 65 {
+		t.Errorf("busy @25%% duty = %.1f °C, want 55..65", busy25)
+	}
+	if busy25-busy75 < 4 {
+		t.Errorf("25%%→75%% duty gap = %.1f °C, want >4", busy25-busy75)
+	}
+	idle := n.SteadyDieC(15, airflow(10))
+	if idle < 34 || idle > 42 {
+		t.Errorf("idle @10%% duty = %.1f °C, want 34..42", idle)
+	}
+	full := n.SteadyDieC(60, airflow(100))
+	if busy25-full < 6 || busy25-full > 14 {
+		t.Errorf("25%%→100%% duty gap = %.1f °C, want 6..14 (paper Fig. 7 ≈8)", busy25-full)
+	}
+}
+
+func TestSetAmbientShiftsSteadyState(t *testing.T) {
+	n := New(Default())
+	base := n.SteadyDieC(60, 0.5)
+	n.SetAmbientC(n.AmbientC() + 5)
+	if got := n.SteadyDieC(60, 0.5); math.Abs(got-base-5) > 1e-9 {
+		t.Errorf("ambient +5 °C moved steady state by %v, want exactly 5", got-base)
+	}
+}
+
+func TestEnergyConservationAtEquilibrium(t *testing.T) {
+	// At steady state, stepping must not drift.
+	n := New(Default())
+	n.Settle(45, 0.6)
+	before := n.DieC()
+	for i := 0; i < 400; i++ {
+		n.Step(250*time.Millisecond, 45, 0.6)
+	}
+	if math.Abs(n.DieC()-before) > 0.01 {
+		t.Errorf("equilibrium drifted from %v to %v", before, n.DieC())
+	}
+}
+
+func BenchmarkThermalStep(b *testing.B) {
+	n := New(Default())
+	n.Settle(50, 0.5)
+	for i := 0; i < b.N; i++ {
+		n.Step(250*time.Millisecond, 50, 0.5)
+	}
+}

@@ -1,0 +1,293 @@
+// Package trace records and summarizes simulation time series: the
+// temperature, fan duty, frequency and power curves that the paper's
+// figures plot, plus the summary statistics its text quotes (averages,
+// stabilization time).
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Point is one sample of one series.
+type Point struct {
+	T time.Duration
+	V float64
+}
+
+// Series is a named time series.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a sample.
+func (s *Series) Add(t time.Duration, v float64) {
+	s.Points = append(s.Points, Point{T: t, V: v})
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Points) }
+
+// Values returns just the sample values.
+func (s *Series) Values() []float64 {
+	out := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		out[i] = p.V
+	}
+	return out
+}
+
+// Mean returns the arithmetic mean, or NaN for an empty series.
+func (s *Series) Mean() float64 { return Mean(s.Values()) }
+
+// Max returns the largest sample value, or -Inf for an empty series.
+func (s *Series) Max() float64 {
+	m := math.Inf(-1)
+	for _, p := range s.Points {
+		if p.V > m {
+			m = p.V
+		}
+	}
+	return m
+}
+
+// Min returns the smallest sample value, or +Inf for an empty series.
+func (s *Series) Min() float64 {
+	m := math.Inf(1)
+	for _, p := range s.Points {
+		if p.V < m {
+			m = p.V
+		}
+	}
+	return m
+}
+
+// Last returns the final sample value, or NaN for an empty series.
+func (s *Series) Last() float64 {
+	if len(s.Points) == 0 {
+		return math.NaN()
+	}
+	return s.Points[len(s.Points)-1].V
+}
+
+// MeanAfter returns the mean of samples at or after t — the steady-state
+// average once transients have passed.
+func (s *Series) MeanAfter(t time.Duration) float64 {
+	var sum float64
+	var n int
+	for _, p := range s.Points {
+		if p.T >= t {
+			sum += p.V
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+// StabilizationTime returns the time of the first sample after which
+// every remaining sample stays within ±band of the series' final value.
+// It reports how quickly a controller settles — the comparison the
+// paper's Figure 6 makes between dynamic and static fan control. It
+// returns the last sample's time if the series never settles earlier,
+// and 0 for an empty series.
+func (s *Series) StabilizationTime(band float64) time.Duration {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	final := s.Last()
+	// Walk backwards to find the last sample outside the band.
+	for i := len(s.Points) - 1; i >= 0; i-- {
+		if math.Abs(s.Points[i].V-final) > band {
+			if i == len(s.Points)-1 {
+				return s.Points[i].T
+			}
+			return s.Points[i+1].T
+		}
+	}
+	return s.Points[0].T
+}
+
+// Percentile returns the p-th percentile of the series values using
+// linear interpolation between closest ranks, for p in [0, 100]. It
+// returns NaN for an empty series or out-of-range p. Thermal SLOs are
+// stated as tails (p95/p99 of die temperature), not means.
+func (s *Series) Percentile(p float64) float64 {
+	if len(s.Points) == 0 || p < 0 || p > 100 || math.IsNaN(p) {
+		return math.NaN()
+	}
+	vs := s.Values()
+	sort.Float64s(vs)
+	if len(vs) == 1 {
+		return vs[0]
+	}
+	rank := p / 100 * float64(len(vs)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return vs[lo]
+	}
+	frac := rank - float64(lo)
+	return vs[lo] + frac*(vs[hi]-vs[lo])
+}
+
+// Mean returns the arithmetic mean of vs, or NaN if empty.
+func Mean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, v := range vs {
+		sum += v
+	}
+	return sum / float64(len(vs))
+}
+
+// Std returns the population standard deviation of vs.
+func Std(vs []float64) float64 {
+	if len(vs) == 0 {
+		return math.NaN()
+	}
+	m := Mean(vs)
+	var ss float64
+	for _, v := range vs {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(vs)))
+}
+
+// Recorder collects multiple named series with a shared sampling
+// schedule.
+type Recorder struct {
+	order  []string
+	series map[string]*Series
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{series: make(map[string]*Series)}
+}
+
+// Record appends a sample to the named series, creating it on first use.
+func (r *Recorder) Record(name string, t time.Duration, v float64) {
+	s, ok := r.series[name]
+	if !ok {
+		s = &Series{Name: name}
+		r.series[name] = s
+		r.order = append(r.order, name)
+	}
+	s.Add(t, v)
+}
+
+// Series returns the named series, or nil if never recorded.
+func (r *Recorder) Series(name string) *Series { return r.series[name] }
+
+// Names returns the series names in first-recorded order.
+func (r *Recorder) Names() []string {
+	return append([]string(nil), r.order...)
+}
+
+// ReadCSV parses the format WriteCSV emits — a "time_s" column followed
+// by one column per series; empty cells are skipped — and returns a
+// recorder holding the series. It is the ingestion path for offline
+// analysis (e.g. the hotspot profiler over an exported run).
+func ReadCSV(r io.Reader) (*Recorder, error) {
+	sc := bufio.NewScanner(r)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("trace: %w", err)
+		}
+		return nil, fmt.Errorf("trace: empty CSV")
+	}
+	header := strings.Split(strings.TrimSpace(sc.Text()), ",")
+	if len(header) < 2 || header[0] != "time_s" {
+		return nil, fmt.Errorf("trace: malformed header %q", sc.Text())
+	}
+	names := header[1:]
+	rec := NewRecorder()
+	line := 1
+	for sc.Scan() {
+		line++
+		row := strings.Split(strings.TrimSpace(sc.Text()), ",")
+		if len(row) != len(header) {
+			return nil, fmt.Errorf("trace: line %d has %d fields, want %d", line, len(row), len(header))
+		}
+		ts, err := strconv.ParseFloat(row[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad timestamp %q", line, row[0])
+		}
+		t := time.Duration(ts * float64(time.Second))
+		for i, cell := range row[1:] {
+			if cell == "" {
+				continue
+			}
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: bad value %q", line, cell)
+			}
+			rec.Record(names[i], t, v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return rec, nil
+}
+
+// WriteCSV emits all series as CSV: a time column (seconds) followed by
+// one column per series, rows joined on exact timestamps. Missing
+// values are left empty.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	names := r.Names()
+	// Collect the union of timestamps.
+	stamps := map[time.Duration]bool{}
+	for _, n := range names {
+		for _, p := range r.series[n].Points {
+			stamps[p.T] = true
+		}
+	}
+	ts := make([]time.Duration, 0, len(stamps))
+	for t := range stamps {
+		ts = append(ts, t)
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+
+	// Index each series by timestamp.
+	idx := make(map[string]map[time.Duration]float64, len(names))
+	for _, n := range names {
+		m := make(map[time.Duration]float64, r.series[n].Len())
+		for _, p := range r.series[n].Points {
+			m[p.T] = p.V
+		}
+		idx[n] = m
+	}
+
+	if _, err := fmt.Fprintf(w, "time_s,%s\n", strings.Join(names, ",")); err != nil {
+		return err
+	}
+	for _, t := range ts {
+		row := make([]string, 0, len(names)+1)
+		row = append(row, fmt.Sprintf("%.3f", t.Seconds()))
+		for _, n := range names {
+			if v, ok := idx[n][t]; ok {
+				row = append(row, fmt.Sprintf("%.4f", v))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if _, err := io.WriteString(w, strings.Join(row, ",")+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}

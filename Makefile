@@ -1,0 +1,25 @@
+# Verification targets mirror .github/workflows/ci.yml.
+
+.PHONY: all build test race lint check
+
+all: check
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+# lint runs the static gates only (no tests): vet, gofmt, thermlint.
+lint:
+	go vet ./...
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
+	go run ./cmd/thermlint ./...
+
+# check is the full CI gate.
+check:
+	./scripts/check.sh

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"thermctl/internal/experiment"
@@ -187,7 +188,15 @@ func writeSeries(dir, name string, series map[string]*trace.Series) {
 		return
 	}
 	rec := trace.NewRecorder()
-	for label, s := range series {
+	// Record in sorted label order: the recorder's first-recorded order
+	// determines the CSV column order, which must not vary run to run.
+	labels := make([]string, 0, len(series))
+	for label := range series {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
+	for _, label := range labels {
+		s := series[label]
 		if s == nil {
 			continue
 		}

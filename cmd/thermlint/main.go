@@ -1,0 +1,200 @@
+// Command thermlint is the repository's domain-aware static-analysis
+// gate. It runs four analyzers over the module:
+//
+//	determinism   — no wall-clock, global math/rand or map-ordered
+//	                effects inside the simulation core
+//	onstepblock   — no blocking calls reachable from Controller.OnStep
+//	actuatorerr   — no silently dropped actuator/i2c/hwmon/IPMI write
+//	                errors, including the `_ =` idiom
+//	mutexcallback — no user-supplied callbacks invoked under a sync
+//	                mutex
+//
+// Usage:
+//
+//	go run ./cmd/thermlint ./...
+//	go run ./cmd/thermlint -checks determinism,actuatorerr ./internal/...
+//
+// Findings are printed as file:line:col: analyzer: message and make the
+// process exit 1. Deliberate violations carry an allow directive:
+//
+//	//thermlint:allow <analyzer> -- <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"thermctl/internal/lint"
+	"thermctl/internal/lint/actuatorerr"
+	"thermctl/internal/lint/determinism"
+	"thermctl/internal/lint/mutexcallback"
+	"thermctl/internal/lint/onstepblock"
+)
+
+var allAnalyzers = []*lint.Analyzer{
+	actuatorerr.Analyzer,
+	determinism.Analyzer,
+	mutexcallback.Analyzer,
+	onstepblock.Analyzer,
+}
+
+func main() {
+	checks := flag.String("checks", "", "comma-separated analyzer subset to run (default: all)")
+	list := flag.Bool("list", false, "list the registered analyzers and exit")
+	flag.Usage = usage
+	flag.Parse()
+
+	if *list {
+		for _, a := range allAnalyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers, err := selectAnalyzers(*checks)
+	if err != nil {
+		fatal(err)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	modPath, modDir, err := lint.ModuleRoot(".")
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := lint.ModulePackages(modPath, modDir)
+	if err != nil {
+		fatal(err)
+	}
+	loader := lint.NewLoader(modPath, modDir)
+
+	findings := 0
+	matched := 0
+	for _, path := range pkgs {
+		if !matchAny(patterns, modPath, path) {
+			continue
+		}
+		matched++
+		active := activeFor(analyzers, path)
+		if len(active) == 0 {
+			continue
+		}
+		pkg, err := loader.Load(path)
+		if err != nil {
+			fatal(err)
+		}
+		diags, err := lint.Run(pkg, active)
+		if err != nil {
+			fatal(err)
+		}
+		for _, d := range diags {
+			fmt.Println(rel(d))
+			findings++
+		}
+	}
+	if matched == 0 {
+		// A typo'd path must not masquerade as a clean run.
+		fatal(fmt.Errorf("patterns %v matched no packages", patterns))
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "thermlint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: thermlint [-checks a,b] [-list] [packages]\n\n")
+	fmt.Fprintf(os.Stderr, "Packages are ./... style patterns relative to the module root.\nAnalyzers:\n")
+	for _, a := range allAnalyzers {
+		fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, a.Doc)
+	}
+	flag.PrintDefaults()
+}
+
+func selectAnalyzers(checks string) ([]*lint.Analyzer, error) {
+	if checks == "" {
+		return allAnalyzers, nil
+	}
+	byName := map[string]*lint.Analyzer{}
+	for _, a := range allAnalyzers {
+		byName[a.Name] = a
+	}
+	var out []*lint.Analyzer
+	for _, n := range strings.Split(checks, ",") {
+		n = strings.TrimSpace(n)
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("thermlint: unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// activeFor filters the analyzers applicable to the package path.
+func activeFor(analyzers []*lint.Analyzer, path string) []*lint.Analyzer {
+	var out []*lint.Analyzer
+	for _, a := range analyzers {
+		if a.AppliesTo == nil || a.AppliesTo(path) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// matchAny reports whether the import path matches one of the ./...
+// style patterns.
+func matchAny(patterns []string, modPath, path string) bool {
+	for _, p := range patterns {
+		if matchPattern(p, modPath, path) {
+			return true
+		}
+	}
+	return false
+}
+
+func matchPattern(pattern, modPath, path string) bool {
+	p := strings.TrimPrefix(pattern, "./")
+	switch {
+	case p == "..." || p == "":
+		return true
+	case strings.HasSuffix(p, "/..."):
+		base := strings.TrimSuffix(p, "/...")
+		full := qualify(base, modPath)
+		return path == full || strings.HasPrefix(path, full+"/")
+	case p == ".":
+		return path == modPath
+	default:
+		return path == qualify(p, modPath)
+	}
+}
+
+// qualify turns a module-root-relative pattern into a full import path;
+// patterns already starting with the module path are kept.
+func qualify(p, modPath string) string {
+	if p == modPath || strings.HasPrefix(p, modPath+"/") {
+		return p
+	}
+	return modPath + "/" + p
+}
+
+// rel shortens the diagnostic's file name to be relative to the
+// current directory where possible.
+func rel(d lint.Diagnostic) string {
+	if wd, err := os.Getwd(); err == nil {
+		if r, err := filepath.Rel(wd, d.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
+			d.Pos.Filename = r
+		}
+	}
+	return d.String()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "thermlint:", err)
+	os.Exit(1)
+}

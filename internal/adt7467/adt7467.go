@@ -22,6 +22,7 @@ package adt7467
 import (
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"thermctl/internal/fan"
@@ -71,14 +72,20 @@ const TachConstant = 5400000
 
 // Chip is the device model. It reads die temperature through a sensor,
 // drives a fan, and exposes the datasheet register map on the i2c bus.
+// Safe for concurrent use: mu serializes the monitoring cycle (Step,
+// driven by the simulation loop) with bus transactions (ReadReg and
+// WriteReg, reached through the host's and the BMC's driver handles on
+// the shared i2c bus). mu is always acquired after the bus lock and
+// before the fan's, so the order bus → chip → fan is acyclic.
 type Chip struct {
+	mu   sync.Mutex
 	rf   *i2c.RegisterFile
 	temp *sensor.Sensor
 	fan  *fan.Fan
 
 	// alarm latching state: cond is the live limit violation, latched
 	// holds until read (datasheet: status bits clear on read once the
-	// condition has gone).
+	// condition has gone). Guarded by mu.
 	alarmCond    bool
 	alarmLatched bool
 }
@@ -155,10 +162,18 @@ func (c *Chip) tachCounts() uint16 {
 }
 
 // ReadReg implements i2c.Device.
-func (c *Chip) ReadReg(reg uint8) (uint8, error) { return c.rf.ReadReg(reg) }
+func (c *Chip) ReadReg(reg uint8) (uint8, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rf.ReadReg(reg)
+}
 
 // WriteReg implements i2c.Device.
-func (c *Chip) WriteReg(reg, val uint8) error { return c.rf.WriteReg(reg, val) }
+func (c *Chip) WriteReg(reg, val uint8) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rf.WriteReg(reg, val)
+}
 
 // Step runs one monitoring cycle. In automatic mode the chip re-evaluates
 // the static temperature→duty map and drives the fan; in manual mode the
@@ -166,6 +181,8 @@ func (c *Chip) WriteReg(reg, val uint8) error { return c.rf.WriteReg(reg, val) }
 // reflected into RegPWM1Duty so the host can read back what the fan is
 // doing, as on real silicon.
 func (c *Chip) Step(time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if !c.manual() {
 		t := c.temp.Read()
 		tmin := float64(int8(c.rf.Get(RegTmin1)))

@@ -14,6 +14,7 @@ package fan
 import (
 	"fmt"
 	"math"
+	"sync"
 	"time"
 )
 
@@ -45,9 +46,13 @@ func Default() Config {
 	}
 }
 
-// Fan is a PWM-controlled fan instance. It is not safe for concurrent
-// use; the simulation steps all devices from a single goroutine.
+// Fan is a PWM-controlled fan instance. It is safe for concurrent use:
+// the rotor is shared hardware, observed and actuated by the in-band
+// path (hwmon files), the ADT7467 chip, and the BMC, and the BMC's IPMI
+// server handles connections on their own goroutines while the
+// simulation loop steps the rotor.
 type Fan struct {
+	mu     sync.Mutex
 	cfg    Config
 	duty   float64 // commanded duty, percent [0,100]
 	rpm    float64 // current (lagged) speed
@@ -66,22 +71,37 @@ func New(cfg Config, dutyPercent float64) *Fan {
 // SetDuty commands a new PWM duty cycle in percent. Values are clamped
 // to [0, 100].
 func (f *Fan) SetDuty(dutyPercent float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	f.duty = math.Min(100, math.Max(0, dutyPercent))
 }
 
 // Duty returns the commanded duty cycle in percent.
-func (f *Fan) Duty() float64 { return f.duty }
+func (f *Fan) Duty() float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.duty
+}
 
 // SetFailed marks the fan as mechanically failed (seized rotor): it
 // spins down regardless of the commanded duty, and the tachometer will
 // report the stall. Fan failure is a standard thermal-management test
 // case (the paper's related work reacts to it with DVFS).
-func (f *Fan) SetFailed(failed bool) { f.failed = failed }
+func (f *Fan) SetFailed(failed bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failed = failed
+}
 
 // Failed reports whether the fan is failed.
-func (f *Fan) Failed() bool { return f.failed }
+func (f *Fan) Failed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.failed
+}
 
 // targetRPM is the steady-state speed for the commanded duty.
+// Called with f.mu held.
 func (f *Fan) targetRPM() float64 {
 	if f.failed || f.duty <= 0 {
 		return 0
@@ -92,6 +112,8 @@ func (f *Fan) targetRPM() float64 {
 
 // Step advances the rotor dynamics by dt.
 func (f *Fan) Step(dt time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	target := f.targetRPM()
 	tau := f.cfg.TimeConst.Seconds()
 	if tau <= 0 {
@@ -103,11 +125,17 @@ func (f *Fan) Step(dt time.Duration) {
 }
 
 // RPM returns the true current rotational speed.
-func (f *Fan) RPM() float64 { return f.rpm }
+func (f *Fan) RPM() float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.rpm
+}
 
 // TachRPM returns the speed as reported by the tachometer, quantized to
 // the tach resolution.
 func (f *Fan) TachRPM() float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if f.cfg.TachResolution <= 0 {
 		return f.rpm
 	}
@@ -117,6 +145,13 @@ func (f *Fan) TachRPM() float64 {
 // Airflow returns the normalized volumetric airflow in [0, 1], which by
 // the fan laws is proportional to rotational speed.
 func (f *Fan) Airflow() float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.airflow()
+}
+
+// airflow is Airflow with f.mu held.
+func (f *Fan) airflow() float64 {
 	if f.cfg.MaxRPM <= 0 {
 		return 0
 	}
@@ -127,11 +162,15 @@ func (f *Fan) Airflow() float64 {
 // power scales with the cube of speed, which is why aggressive cooling
 // policies carry a measurable power cost.
 func (f *Fan) Power() float64 {
-	x := f.Airflow()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	x := f.airflow()
 	return f.cfg.MaxPower * x * x * x
 }
 
 // String summarizes the fan state for logs.
 func (f *Fan) String() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	return fmt.Sprintf("fan{duty=%.0f%% rpm=%.0f}", f.duty, f.rpm)
 }

@@ -105,6 +105,7 @@ func Analyze(temp *trace.Series, spans []Span) (*Report, error) {
 	if !matched {
 		return nil, fmt.Errorf("hotspot: no sample falls inside any span")
 	}
+	//thermlint:allow determinism -- independent per-value update; no cross-iteration state or ordered output
 	for _, st := range rep.Stats {
 		if mins := st.Time.Minutes(); mins > 0 {
 			st.RatePerMin = st.RiseC / mins
@@ -114,11 +115,19 @@ func Analyze(temp *trace.Series, spans []Span) (*Report, error) {
 }
 
 // Rank returns the labels ordered hottest-first: primarily by peak
-// temperature, then by heating rate.
+// temperature, then by heating rate, then alphabetically. The full
+// tie-break matters: sort.Slice is unstable and the candidates come
+// out of a map, so without it the ranking of equally hot phases would
+// change from run to run.
 func (r *Report) Rank() []*Stats {
-	out := make([]*Stats, 0, len(r.Stats))
-	for _, st := range r.Stats {
-		if st.Spans > 0 {
+	labels := make([]string, 0, len(r.Stats))
+	for l := range r.Stats {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	out := make([]*Stats, 0, len(labels))
+	for _, l := range labels {
+		if st := r.Stats[l]; st.Spans > 0 {
 			out = append(out, st)
 		}
 	}
@@ -126,7 +135,10 @@ func (r *Report) Rank() []*Stats {
 		if out[i].MaxC != out[j].MaxC {
 			return out[i].MaxC > out[j].MaxC
 		}
-		return out[i].RatePerMin > out[j].RatePerMin
+		if out[i].RatePerMin != out[j].RatePerMin {
+			return out[i].RatePerMin > out[j].RatePerMin
+		}
+		return out[i].Label < out[j].Label
 	})
 	return out
 }

@@ -1,0 +1,162 @@
+package ipmi_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"thermctl/internal/adt7467"
+	"thermctl/internal/fan"
+	"thermctl/internal/i2c"
+	"thermctl/internal/ipmi"
+	"thermctl/internal/sensor"
+	"thermctl/internal/thermal"
+)
+
+// buildNode wires the out-of-band stack the way internal/node does:
+// sensor and fan behind an ADT7467 on a shared i2c bus, with the BMC
+// holding its own driver handle on that bus.
+func buildNode(t *testing.T) (*ipmi.BMC, *adt7467.Chip, *fan.Fan) {
+	t.Helper()
+	net := thermal.New(thermal.Default())
+	sens := sensor.New(sensor.Config{Quantum: 0.25}, sensor.SourceFunc(net.DieC), nil)
+	f := fan.New(fan.Default(), 30)
+	chip := adt7467.NewChip(sens, f)
+	bus := i2c.NewBus()
+	if err := bus.Attach(adt7467.DefaultAddr, chip); err != nil {
+		t.Fatal(err)
+	}
+	drv, err := adt7467.NewDriver(bus, adt7467.DefaultAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := ipmi.NewBMC(drv)
+	recs := []ipmi.SensorRecord{
+		{Number: 1, Name: "CPU Temp", Unit: "degrees C", Read: sens.Read},
+		{Number: 2, Name: "CPU Fan", Unit: "RPM", Read: f.TachRPM},
+		{Number: 3, Name: "System Power", Unit: "Watts", Read: func() float64 { return 70 + f.Power() }},
+	}
+	for _, rec := range recs {
+		if err := b.AddSensor(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b, chip, f
+}
+
+// TestConcurrentSensorReadsAndFanActuation hammers BMC sensor reads
+// concurrently with OEM fan actuation and the device monitoring cycle —
+// the interleaving a management network produces when several operators
+// poll a node whose daemon is actuating the fan. Run with -race: the
+// sensor closures observe the rotor and the chip registers while the
+// actuation path mutates them, so any missing lock in fan, adt7467 or
+// ipmi shows up here.
+func TestConcurrentSensorReadsAndFanActuation(t *testing.T) {
+	bmc, chip, f := buildNode(t)
+
+	srv, err := ipmi.ListenAndServe("127.0.0.1:0", bmc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const (
+		readers   = 4
+		actuators = 2
+		iters     = 200
+	)
+	errc := make(chan error, readers+actuators)
+	var wg sync.WaitGroup
+
+	// Readers: one TCP connection each, polling the whole repository.
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tc, err := ipmi.Dial(srv.Addr().String())
+			if err != nil {
+				errc <- err
+				return
+			}
+			defer tc.Close()
+			c := ipmi.NewClient(tc)
+			for i := 0; i < iters; i++ {
+				for num := uint8(1); num <= 3; num++ {
+					if _, err := c.ReadSensor(num); err != nil {
+						errc <- err
+						return
+					}
+				}
+				if _, err := c.ListSensors(); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}()
+	}
+
+	// Actuators: flip fan mode and sweep the duty over the LAN channel.
+	for a := 0; a < actuators; a++ {
+		wg.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			tc, err := ipmi.Dial(srv.Addr().String())
+			if err != nil {
+				errc <- err
+				return
+			}
+			defer tc.Close()
+			c := ipmi.NewClient(tc)
+			if err := c.SetFanManual(true); err != nil {
+				errc <- err
+				return
+			}
+			for i := 0; i < iters; i++ {
+				if err := c.SetFanDuty(float64(10 + (a*37+i)%90)); err != nil {
+					errc <- err
+					return
+				}
+				if _, err := c.FanDuty(); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(a)
+	}
+
+	// The device models keep running while the BMC is hammered, exactly
+	// as the simulation loop steps them.
+	stop := make(chan struct{})
+	var stepWG sync.WaitGroup
+	stepWG.Add(1)
+	go func() {
+		defer stepWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			chip.Step(100 * time.Millisecond)
+			f.Step(100 * time.Millisecond)
+			// Pace the loop: an unthrottled stepper monopolizes the
+			// device locks and starves the BMC goroutines under -race.
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	wg.Wait()
+	close(stop)
+	stepWG.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	if got := bmc.Handled(); got == 0 {
+		t.Fatal("BMC handled no requests")
+	}
+	if d := f.Duty(); d < 0 || d > 100 {
+		t.Fatalf("fan duty %v out of range after hammer", d)
+	}
+}

@@ -1,0 +1,138 @@
+// Package actuatorerr flags silently dropped errors from actuator
+// write paths: PWM duty, P-state/frequency, i2c register, hwmon
+// attribute and IPMI fan-mode writes.
+//
+// A dropped actuator error means the controller believes it changed
+// the hardware when it did not — the fan keeps its old duty, the CPU
+// its old P-state — and the thermal model diverges from the plant with
+// no trace in any log. Unlike blanket errcheck, the analyzer also
+// rejects the `_ = dev.SetPWM(...)` idiom: discarding an actuator
+// error on purpose requires a //thermlint:allow directive with a
+// reason.
+package actuatorerr
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"thermctl/internal/lint"
+)
+
+// Analyzer is the dropped-actuator-error check.
+var Analyzer = &lint.Analyzer{
+	Name: "actuatorerr",
+	Doc:  "flag dropped error returns from actuator / i2c / hwmon / IPMI write paths",
+	Run:  run,
+}
+
+// actuatorName matches the write-path function and method names used by
+// the repository's actuation layers (and their obvious future
+// variants). Only calls that return an error are considered.
+var actuatorName = regexp.MustCompile(
+	`^(SetPWM|SetPState|SetDuty|SetDutyPercent|SetManual|SetFanDuty|SetFanSpeed|` +
+		`SetFanMode|SetTempLimits|SetKHz|SetFrequency|SetGovernor|SetThrottle|` +
+		`WriteReg|WriteByteData|WriteWordData|WriteFile|WriteInt|WriteMSR)$`)
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					if name, ok := actuatorCall(pass, call); ok {
+						pass.Reportf(call.Pos(),
+							"error from %s dropped; actuator writes must be checked", name)
+					}
+				}
+			case *ast.GoStmt:
+				if name, ok := actuatorCall(pass, n.Call); ok {
+					pass.Reportf(n.Call.Pos(),
+						"error from %s dropped by go statement; actuator writes must be checked", name)
+				}
+			case *ast.DeferStmt:
+				if name, ok := actuatorCall(pass, n.Call); ok {
+					pass.Reportf(n.Call.Pos(),
+						"error from %s dropped by defer; actuator writes must be checked", name)
+				}
+			case *ast.AssignStmt:
+				checkAssign(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkAssign flags assignments that discard an actuator call's error
+// into the blank identifier, including the multi-value form
+// `v, _ := dev.ReadModifyWrite(...)`.
+func checkAssign(pass *lint.Pass, asg *ast.AssignStmt) {
+	// Single call on the RHS: the call's results map positionally onto
+	// the LHS. Other shapes (parallel assignment) cannot silently drop
+	// a result — each RHS expression is a single value.
+	if len(asg.Rhs) != 1 {
+		return
+	}
+	call, ok := asg.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	name, ok := actuatorCall(pass, call)
+	if !ok {
+		return
+	}
+	sig := callSignature(pass, call)
+	if sig == nil {
+		return
+	}
+	for i, lhs := range asg.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			continue
+		}
+		if i < sig.Results().Len() && isErrorType(sig.Results().At(i).Type()) {
+			pass.Reportf(asg.Pos(),
+				"error from %s assigned to _; actuator writes must be checked", name)
+			return
+		}
+	}
+}
+
+// actuatorCall reports whether call is a call to an actuator write
+// function that returns an error, and returns its name.
+func actuatorCall(pass *lint.Pass, call *ast.CallExpr) (string, bool) {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return "", false
+	}
+	if !actuatorName.MatchString(id.Name) {
+		return "", false
+	}
+	sig := callSignature(pass, call)
+	if sig == nil || sig.Results().Len() == 0 {
+		return "", false
+	}
+	if !isErrorType(sig.Results().At(sig.Results().Len() - 1).Type()) {
+		return "", false
+	}
+	return id.Name, true
+}
+
+func callSignature(pass *lint.Pass, call *ast.CallExpr) *types.Signature {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}

@@ -1,0 +1,12 @@
+package actuatorerr_test
+
+import (
+	"testing"
+
+	"thermctl/internal/lint/actuatorerr"
+	"thermctl/internal/lint/linttest"
+)
+
+func TestActuatorErr(t *testing.T) {
+	linttest.Run(t, "testdata/act", actuatorerr.Analyzer)
+}

@@ -1,0 +1,48 @@
+package act
+
+import "errors"
+
+type dev struct{}
+
+func (dev) SetPWM(v int) error        { return errors.New("nack") }
+func (dev) SetPState(i int) error     { return nil }
+func (dev) SetDuty(pct float64) error { return nil }
+func (dev) WriteReg(r, v uint8) error { return nil }
+
+// SetKHz has a value before the trailing error, like read-modify-write
+// actuators.
+func (dev) SetKHz(khz int64) (int64, error) { return khz, nil }
+
+// Poke is not an actuator name: dropping its error is errcheck's
+// business, not thermlint's.
+func (dev) Poke() error { return nil }
+
+// SetLabel matches no actuator pattern either.
+func (dev) SetLabel(s string) {}
+
+func bad(d dev) {
+	d.SetPWM(50)           // want `error from SetPWM dropped`
+	_ = d.SetPState(1)     // want `error from SetPState assigned to _`
+	defer d.WriteReg(1, 2) // want `error from WriteReg dropped by defer`
+	go d.SetDuty(40)       // want `error from SetDuty dropped by go statement`
+}
+
+func badMulti(d dev) int64 {
+	v, _ := d.SetKHz(800000) // want `error from SetKHz assigned to _`
+	return v
+}
+
+func good(d dev) error {
+	if err := d.SetPWM(50); err != nil {
+		return err
+	}
+	v, err := d.SetKHz(800000)
+	_ = v
+	d.Poke()        // non-actuator: ignored
+	d.SetLabel("x") // no error result: ignored
+	return err
+}
+
+func allowed(d dev) {
+	_ = d.SetPWM(0) //thermlint:allow actuatorerr -- best-effort spin-down on the shutdown path
+}

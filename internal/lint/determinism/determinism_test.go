@@ -1,0 +1,35 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"thermctl/internal/lint/determinism"
+	"thermctl/internal/lint/linttest"
+)
+
+func TestDeterminism(t *testing.T) {
+	linttest.Run(t, "testdata/det", determinism.Analyzer)
+}
+
+func TestScope(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"thermctl/internal/cluster", true},
+		{"thermctl/internal/core/window", true},
+		{"thermctl/cmd/experiments", true},
+		{"thermctl/internal/simclock", true},
+		{"thermctl/internal/ipmi", false},
+		{"thermctl/internal/hwmon", false},
+		{"thermctl/internal/trace", false},
+		{"thermctl/internal/lint", false},
+		{"thermctl/cmd/thermctld", false},
+		{"thermctl", false},
+	}
+	for _, c := range cases {
+		if got := determinism.Analyzer.AppliesTo(c.path); got != c.want {
+			t.Errorf("AppliesTo(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}

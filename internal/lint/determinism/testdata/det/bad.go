@@ -1,0 +1,31 @@
+package det
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Duration {
+	start := time.Now()          // want `time.Now reads or waits on the wall clock`
+	time.Sleep(time.Millisecond) // want `time.Sleep reads or waits on the wall clock`
+	return time.Since(start)     // want `time.Since reads or waits on the wall clock`
+}
+
+func globalRand() int {
+	return rand.Intn(8) // want `math/rand.Intn uses the global math/rand source`
+}
+
+func mapOrdered(m map[string]float64) {
+	for k, v := range m { // want `map iteration order is nondeterministic`
+		fmt.Println(k, v)
+	}
+}
+
+func collectedButNeverSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration order is nondeterministic`
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,43 @@
+package det
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// seededRand uses explicit constructors, never the global source.
+func seededRand() float64 {
+	r := rand.New(rand.NewSource(42))
+	return r.Float64()
+}
+
+// sortedKeys is the canonical deterministic map walk: collect, sort,
+// then range the slice.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// rekey copies one map into another — order cannot be observed.
+func rekey(m map[string]time.Duration) map[string]int64 {
+	out := make(map[string]int64, len(m))
+	for k, d := range m {
+		out[k] = int64(d)
+	}
+	return out
+}
+
+// allowedWallClock documents a deliberate wall-clock read.
+func allowedWallClock() time.Time {
+	//thermlint:allow determinism -- startup banner timestamp, not simulation state
+	return time.Now()
+}
+
+func allowedInline() {
+	time.Sleep(time.Microsecond) //thermlint:allow determinism -- test fixture pacing, outside the sim loop
+}

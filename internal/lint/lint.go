@@ -1,0 +1,245 @@
+// Package lint is a miniature static-analysis framework for this
+// repository's domain-specific invariants: simulation determinism,
+// non-blocking control loops, checked actuator writes, and
+// callback-under-lock deadlock shapes.
+//
+// It deliberately mirrors the golang.org/x/tools/go/analysis API
+// (Analyzer / Pass / Diagnostic) so the analyzers could be ported to a
+// multichecker verbatim, but it is self-contained: the build
+// environment for this repository is hermetic (no module proxy), so
+// the framework is built only on the standard library's go/ast,
+// go/types and go/importer packages.
+//
+// Findings can be suppressed with an allow directive placed on the
+// flagged line or alone on the line directly above it:
+//
+//	//thermlint:allow <analyzer>[,<analyzer>...] -- <reason>
+//
+// The reason is mandatory: a directive without one is itself reported
+// (under the analyzer name "directive") and suppresses nothing.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and allow directives.
+	Name string
+	// Doc is a one-paragraph description, shown by `thermlint -help`.
+	Doc string
+	// AppliesTo, when non-nil, restricts the driver to packages whose
+	// import path it accepts. Tests bypass it and exercise Run directly.
+	AppliesTo func(pkgPath string) bool
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one package's parsed and type-checked representation to
+// an analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run executes the analyzers over one loaded package and returns the
+// surviving diagnostics, sorted by position: allow directives have been
+// applied, and malformed directives reported. AppliesTo is NOT
+// consulted here — that is driver policy (see Driver.Run).
+func Run(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	diags = applyDirectives(pkg, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// directive is one parsed //thermlint:allow comment.
+type directive struct {
+	pos       token.Position
+	analyzers map[string]bool
+	hasReason bool
+	// alone reports whether the comment is the only thing on its line,
+	// in which case it covers the following line instead.
+	alone bool
+}
+
+const directivePrefix = "thermlint:allow"
+
+// parseDirectives extracts the allow directives of every file.
+func parseDirectives(pkg *Package) []directive {
+	var out []directive
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, directivePrefix))
+				names, reason, found := strings.Cut(rest, "--")
+				d := directive{
+					pos:       pkg.Fset.Position(c.Pos()),
+					analyzers: map[string]bool{},
+					hasReason: found && strings.TrimSpace(reason) != "",
+				}
+				for _, n := range strings.FieldsFunc(names, func(r rune) bool {
+					return r == ',' || r == ' ' || r == '\t'
+				}) {
+					d.analyzers[n] = true
+				}
+				d.alone = d.pos.Column == 1 || onlyCommentOnLine(pkg, c)
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// onlyCommentOnLine reports whether c starts its line (ignoring
+// indentation), i.e. there is no code before it.
+func onlyCommentOnLine(pkg *Package, c *ast.Comment) bool {
+	pos := pkg.Fset.Position(c.Pos())
+	tf := pkg.Fset.File(c.Pos())
+	if tf == nil {
+		return false
+	}
+	lineStart := tf.LineStart(pos.Line)
+	// The file's source is not retained; approximate by checking that
+	// no declaration/statement token position falls between the line
+	// start and the comment. Walking every file token is overkill —
+	// instead we compare columns: a comment at column 1..8 on its own
+	// line is treated as standalone, and trailing comments (after code)
+	// start at higher columns in gofmt'd code. To stay exact we walk
+	// the AST for nodes on the same line before the comment.
+	for _, f := range pkg.Files {
+		if pkg.Fset.File(f.Pos()) != tf {
+			continue
+		}
+		found := false
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil || found {
+				return false
+			}
+			if n.Pos() >= lineStart && n.Pos() < c.Pos() && pkg.Fset.Position(n.Pos()).Line == pos.Line {
+				switch n.(type) {
+				case *ast.Comment, *ast.CommentGroup, *ast.File:
+				default:
+					found = true
+				}
+				return false
+			}
+			return true
+		})
+		if found {
+			return false
+		}
+	}
+	return true
+}
+
+// applyDirectives filters diags through the allow directives and
+// appends a "directive" diagnostic for each malformed one.
+func applyDirectives(pkg *Package, diags []Diagnostic) []Diagnostic {
+	dirs := parseDirectives(pkg)
+	// allowed[file][line][analyzer]
+	allowed := map[string]map[int]map[string]bool{}
+	add := func(file string, line int, names map[string]bool) {
+		if allowed[file] == nil {
+			allowed[file] = map[int]map[string]bool{}
+		}
+		if allowed[file][line] == nil {
+			allowed[file][line] = map[string]bool{}
+		}
+		for n := range names {
+			allowed[file][line][n] = true
+		}
+	}
+	var out []Diagnostic
+	for _, d := range dirs {
+		if !d.hasReason {
+			out = append(out, Diagnostic{
+				Pos:      d.pos,
+				Analyzer: "directive",
+				Message:  "thermlint:allow directive is missing its '-- reason'; it suppresses nothing",
+			})
+			continue
+		}
+		if len(d.analyzers) == 0 {
+			out = append(out, Diagnostic{
+				Pos:      d.pos,
+				Analyzer: "directive",
+				Message:  "thermlint:allow directive names no analyzers",
+			})
+			continue
+		}
+		line := d.pos.Line
+		add(d.pos.Filename, line, d.analyzers)
+		if d.alone {
+			add(d.pos.Filename, line+1, d.analyzers)
+		}
+	}
+	for _, dg := range diags {
+		if m := allowed[dg.Pos.Filename]; m != nil && m[dg.Pos.Line][dg.Analyzer] {
+			continue
+		}
+		out = append(out, dg)
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package lint_test
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"thermctl/internal/lint"
+)
+
+// testAnalyzer flags every call to a function literally named
+// "forbidden".
+var testAnalyzer = &lint.Analyzer{
+	Name: "testcheck",
+	Doc:  "flags calls to forbidden()",
+	Run: func(pass *lint.Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "forbidden" {
+					pass.Reportf(call.Pos(), "forbidden call")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+const fixture = `package fix
+
+func forbidden() {}
+
+func a() {
+	forbidden()
+	forbidden() //thermlint:allow testcheck -- trailing directive with reason
+	//thermlint:allow testcheck -- standalone directive covers the next line
+	forbidden()
+	forbidden() //thermlint:allow testcheck
+	forbidden() //thermlint:allow othercheck -- names a different analyzer
+}
+`
+
+func loadFixture(t *testing.T) *lint.Package {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "fix.go"), []byte(fixture), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := lint.NewLoader("", "").LoadDir(dir, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkg
+}
+
+func TestDirectives(t *testing.T) {
+	pkg := loadFixture(t)
+	diags, err := lint.Run(pkg, []*lint.Analyzer{testAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type want struct {
+		line     int
+		analyzer string
+		contains string
+	}
+	wants := []want{
+		{6, "testcheck", "forbidden call"},           // no directive
+		{10, "testcheck", "forbidden call"},          // malformed directive suppresses nothing...
+		{10, "directive", "missing its '-- reason'"}, // ...and is itself reported
+		{11, "testcheck", "forbidden call"},          // wrong analyzer name
+	}
+	if len(diags) != len(wants) {
+		t.Fatalf("got %d diagnostics, want %d:\n%v", len(diags), len(wants), diags)
+	}
+	for i, w := range wants {
+		d := diags[i]
+		if d.Pos.Line != w.line || d.Analyzer != w.analyzer || !strings.Contains(d.Message, w.contains) {
+			t.Errorf("diag %d = %s, want line %d analyzer %s containing %q", i, d, w.line, w.analyzer, w.contains)
+		}
+	}
+}
+
+func TestModuleRoot(t *testing.T) {
+	modPath, modDir, err := lint.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if modPath != "thermctl" {
+		t.Fatalf("module path = %q, want thermctl", modPath)
+	}
+	if _, err := os.Stat(filepath.Join(modDir, "go.mod")); err != nil {
+		t.Fatalf("module dir %s has no go.mod: %v", modDir, err)
+	}
+	pkgs, err := lint.ModulePackages(modPath, modDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[string]bool{}
+	for _, p := range pkgs {
+		found[p] = true
+	}
+	for _, want := range []string{"thermctl", "thermctl/internal/fan", "thermctl/cmd/thermlint", "thermctl/internal/lint"} {
+		if !found[want] {
+			t.Errorf("ModulePackages missing %s (got %d packages)", want, len(pkgs))
+		}
+	}
+	for p := range found {
+		if strings.Contains(p, "testdata") {
+			t.Errorf("ModulePackages included testdata package %s", p)
+		}
+	}
+}

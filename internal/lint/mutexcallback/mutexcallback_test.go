@@ -1,0 +1,12 @@
+package mutexcallback_test
+
+import (
+	"testing"
+
+	"thermctl/internal/lint/linttest"
+	"thermctl/internal/lint/mutexcallback"
+)
+
+func TestMutexCallback(t *testing.T) {
+	linttest.Run(t, "testdata/mcb", mutexcallback.Analyzer)
+}

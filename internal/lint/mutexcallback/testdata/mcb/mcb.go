@@ -1,0 +1,75 @@
+package mcb
+
+import "sync"
+
+type rec struct {
+	Read func() float64
+}
+
+type repo struct {
+	mu      sync.Mutex
+	rwmu    sync.RWMutex
+	sensors map[int]rec
+	hook    func()
+}
+
+// bad holds the mutex (via defer Unlock) across a user-supplied
+// callback — the BMC deadlock shape.
+func (r *repo) bad(n int) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.sensors[n]
+	return s.Read() // want `callback s.Read invoked while r.mu is held`
+}
+
+// badField invokes a struct-field callback under a read lock.
+func (r *repo) badField() {
+	r.rwmu.RLock()
+	r.hook() // want `callback r.hook invoked while r.rwmu is held`
+	r.rwmu.RUnlock()
+}
+
+// good copies the record out and releases the lock before calling out.
+func (r *repo) good(n int) float64 {
+	r.mu.Lock()
+	s := r.sensors[n]
+	r.mu.Unlock()
+	return s.Read()
+}
+
+// localClosure calls a closure defined in the same function: that is
+// not an injection point and is not flagged.
+func (r *repo) localClosure() int {
+	total := 0
+	add := func(n int) { total += n }
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	add(len(r.sensors))
+	return total
+}
+
+// methodUnderLock calls a declared method, which the analyzer leaves to
+// human review — only function values are injection points.
+func (r *repo) methodUnderLock() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.size()
+}
+
+func (r *repo) size() float64 { return float64(len(r.sensors)) }
+
+// allowed documents a reentrancy-safe hook.
+func (r *repo) allowed() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.hook() //thermlint:allow mutexcallback -- hook is documented reentrancy-safe and never touches r
+}
+
+// bare covers parameters: both the mutex and the callback arrive as
+// arguments.
+func bare(mu *sync.Mutex, cb func()) {
+	mu.Lock()
+	cb() // want `callback cb invoked while mu is held`
+	mu.Unlock()
+	cb() // released: fine
+}

@@ -1,0 +1,211 @@
+// Package onstepblock verifies that cluster.Controller implementations
+// never block the lock-step simulation loop.
+//
+// Every OnStep(time.Duration) method is called synchronously once per
+// simulation step; a sleep, an unbuffered channel operation or
+// synchronous I/O inside it (or anything it calls) stalls every node in
+// the cluster and skews the Δt_L1/Δt_L2 history windows. The analyzer
+// walks the intra-package call graph rooted at each OnStep
+// implementation and flags blocking constructs, reporting the call
+// chain that reaches them.
+package onstepblock
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"thermctl/internal/lint"
+)
+
+// Analyzer is the OnStep-blocking check.
+var Analyzer = &lint.Analyzer{
+	Name: "onstepblock",
+	Doc:  "flag blocking operations reachable from Controller.OnStep implementations",
+	Run:  run,
+}
+
+// blockingFuncs maps types.Func.FullName() values to a short
+// description of why the call blocks. The set covers the blocking
+// stdlib surface this repository actually links against plus the
+// module's own synchronous network client.
+var blockingFuncs = map[string]string{
+	"time.Sleep":                    "sleeps",
+	"(*sync.WaitGroup).Wait":        "waits on a WaitGroup",
+	"(*sync.Cond).Wait":             "waits on a Cond",
+	"os.Open":                       "opens a file",
+	"os.OpenFile":                   "opens a file",
+	"os.Create":                     "creates a file",
+	"os.ReadFile":                   "reads a file",
+	"os.WriteFile":                  "writes a file",
+	"(*os.File).Read":               "reads a file",
+	"(*os.File).Write":              "writes a file",
+	"(*os.File).ReadAt":             "reads a file",
+	"(*os.File).WriteAt":            "writes a file",
+	"(*os.File).Sync":               "syncs a file",
+	"net.Dial":                      "dials the network",
+	"net.DialTimeout":               "dials the network",
+	"net.Listen":                    "listens on the network",
+	"net/http.Get":                  "performs an HTTP request",
+	"net/http.Post":                 "performs an HTTP request",
+	"(*net/http.Client).Do":         "performs an HTTP request",
+	"(*net/http.Client).Get":        "performs an HTTP request",
+	"(*net/http.Client).Post":       "performs an HTTP request",
+	"(*os/exec.Cmd).Run":            "runs a subprocess",
+	"(*os/exec.Cmd).Output":         "runs a subprocess",
+	"(*os/exec.Cmd).Wait":           "waits on a subprocess",
+	"(*os/exec.Cmd).CombinedOutput": "runs a subprocess",
+	"fmt.Scan":                      "reads stdin",
+	"fmt.Scanln":                    "reads stdin",
+	"fmt.Scanf":                     "reads stdin",
+	"(*thermctl/internal/ipmi.TCPClient).Send": "performs synchronous network I/O",
+	"thermctl/internal/ipmi.Dial":              "dials the network",
+	"thermctl/internal/ipmi.ListenAndServe":    "listens on the network",
+}
+
+func run(pass *lint.Pass) error {
+	// Index this package's function declarations by their object, so the
+	// walk can follow static intra-package calls.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+	for fn, fd := range decls {
+		if !isOnStep(fn) {
+			continue
+		}
+		w := &walker{pass: pass, decls: decls, visited: map[*types.Func]bool{}}
+		w.walk(fn, fd, []string{methodLabel(fn)})
+	}
+	return nil
+}
+
+// isOnStep reports whether fn is a Controller.OnStep implementation:
+// a method named OnStep taking a single time.Duration and returning
+// nothing.
+func isOnStep(fn *types.Func) bool {
+	if fn.Name() != "OnStep" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || sig.Params().Len() != 1 || sig.Results().Len() != 0 {
+		return false
+	}
+	named, ok := sig.Params().At(0).Type().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Duration" && obj.Pkg() != nil && obj.Pkg().Path() == "time"
+}
+
+func methodLabel(fn *types.Func) string {
+	// Trim the module prefix for readability:
+	// "(*thermctl/internal/core.TDVFS).OnStep" → "(*core.TDVFS).OnStep".
+	name := fn.FullName()
+	name = strings.ReplaceAll(name, "thermctl/internal/", "")
+	return strings.ReplaceAll(name, "thermctl/", "")
+}
+
+type walker struct {
+	pass    *lint.Pass
+	decls   map[*types.Func]*ast.FuncDecl
+	visited map[*types.Func]bool
+}
+
+// walk inspects fn's body for blocking constructs and recurses into
+// statically resolvable same-package callees. chain is the call path
+// from the OnStep root, for diagnostics.
+func (w *walker) walk(fn *types.Func, fd *ast.FuncDecl, chain []string) {
+	if w.visited[fn] {
+		return
+	}
+	w.visited[fn] = true
+	w.inspect(fd.Body, chain)
+}
+
+func (w *walker) inspect(body ast.Node, chain []string) {
+	via := ""
+	if len(chain) > 1 {
+		via = " (reached via " + strings.Join(chain, " → ") + ")"
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			// Spawning a goroutine does not block the loop; its body
+			// runs asynchronously.
+			return false
+		case *ast.SendStmt:
+			w.pass.Reportf(n.Pos(), "channel send blocks the lock-step loop%s", via)
+			return true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				w.pass.Reportf(n.Pos(), "channel receive blocks the lock-step loop%s", via)
+			}
+			return true
+		case *ast.SelectStmt:
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					// A default clause makes the select non-blocking;
+					// don't descend into the comm clauses (their channel
+					// operations never block), only into the bodies.
+					for _, c := range n.Body.List {
+						for _, st := range c.(*ast.CommClause).Body {
+							w.inspect(st, chain)
+						}
+					}
+					return false
+				}
+			}
+			w.pass.Reportf(n.Pos(), "select without default blocks the lock-step loop%s", via)
+			return false
+		case *ast.RangeStmt:
+			if tv, ok := w.pass.TypesInfo.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					w.pass.Reportf(n.Pos(), "ranging over a channel blocks the lock-step loop%s", via)
+				}
+			}
+			return true
+		case *ast.CallExpr:
+			w.checkCall(n, chain, via)
+			return true
+		}
+		return true
+	})
+}
+
+func (w *walker) checkCall(call *ast.CallExpr, chain []string, via string) {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return
+	}
+	fn, ok := w.pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok {
+		return
+	}
+	if why, ok := blockingFuncs[fn.FullName()]; ok {
+		w.pass.Reportf(call.Pos(), "call to %s %s, blocking the lock-step loop%s",
+			fn.FullName(), why, via)
+		return
+	}
+	if fn.Pkg() != w.pass.Pkg {
+		return // cross-package static analysis stops at the boundary
+	}
+	if fd, ok := w.decls[fn]; ok {
+		w.walk(fn, fd, append(chain, fn.Name()))
+	}
+}

@@ -1,0 +1,12 @@
+package onstepblock_test
+
+import (
+	"testing"
+
+	"thermctl/internal/lint/linttest"
+	"thermctl/internal/lint/onstepblock"
+)
+
+func TestOnStepBlock(t *testing.T) {
+	linttest.Run(t, "testdata/osb", onstepblock.Analyzer)
+}

@@ -1,0 +1,62 @@
+package osb
+
+import (
+	"os"
+	"time"
+)
+
+type ctl struct {
+	ch chan int
+}
+
+// OnStep with direct and transitive blocking operations.
+func (c *ctl) OnStep(now time.Duration) {
+	time.Sleep(time.Millisecond) // want `call to time.Sleep sleeps, blocking the lock-step loop`
+	c.helper()
+	<-c.ch   // want `channel receive blocks the lock-step loop`
+	select { // want `select without default blocks the lock-step loop`
+	case v := <-c.ch:
+		_ = v
+	}
+}
+
+// helper is reached from OnStep; its blocking send is reported with the
+// call chain.
+func (c *ctl) helper() {
+	c.ch <- 1 // want `channel send blocks the lock-step loop \(reached via .*OnStep → helper\)`
+}
+
+type fileCtl struct{ path string }
+
+func (f *fileCtl) OnStep(time.Duration) {
+	_, _ = os.ReadFile(f.path) // want `call to os.ReadFile reads a file, blocking the lock-step loop`
+}
+
+type good struct {
+	ch chan int
+}
+
+// OnStep that polls without blocking: non-blocking select, async
+// goroutine, and plain computation.
+func (g *good) OnStep(now time.Duration) {
+	select {
+	case v := <-g.ch:
+		_ = v
+	default:
+	}
+	go func() {
+		time.Sleep(time.Second) // asynchronous: does not stall the loop
+	}()
+}
+
+// notOnStep has the wrong signature; its sleep is not reachable from
+// any controller and is ignored.
+func (g *good) NotOnStep(n int) {
+	time.Sleep(time.Duration(n))
+}
+
+type allowed struct{}
+
+func (allowed) OnStep(time.Duration) {
+	time.Sleep(time.Microsecond) //thermlint:allow onstepblock -- calibration spin documented in DESIGN.md
+}

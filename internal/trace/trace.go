@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -167,8 +168,13 @@ func Std(vs []float64) float64 {
 }
 
 // Recorder collects multiple named series with a shared sampling
-// schedule.
+// schedule. Record, Names, Series and WriteCSV are safe for concurrent
+// use: out-of-band probes (BMC pollers, the IPMI server's connection
+// goroutines) append samples concurrently with the in-band sampling
+// loop. Mutating a *Series obtained from Series while others record is
+// the caller's responsibility to serialize.
 type Recorder struct {
+	mu     sync.Mutex
 	order  []string
 	series map[string]*Series
 }
@@ -180,6 +186,8 @@ func NewRecorder() *Recorder {
 
 // Record appends a sample to the named series, creating it on first use.
 func (r *Recorder) Record(name string, t time.Duration, v float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	s, ok := r.series[name]
 	if !ok {
 		s = &Series{Name: name}
@@ -190,10 +198,16 @@ func (r *Recorder) Record(name string, t time.Duration, v float64) {
 }
 
 // Series returns the named series, or nil if never recorded.
-func (r *Recorder) Series(name string) *Series { return r.series[name] }
+func (r *Recorder) Series(name string) *Series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.series[name]
+}
 
 // Names returns the series names in first-recorded order.
 func (r *Recorder) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	return append([]string(nil), r.order...)
 }
 
@@ -246,9 +260,12 @@ func ReadCSV(r io.Reader) (*Recorder, error) {
 
 // WriteCSV emits all series as CSV: a time column (seconds) followed by
 // one column per series, rows joined on exact timestamps. Missing
-// values are left empty.
+// values are left empty. The recorder is locked for the duration: the
+// snapshot is consistent even while probes keep recording.
 func (r *Recorder) WriteCSV(w io.Writer) error {
-	names := r.Names()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := append([]string(nil), r.order...)
 	// Collect the union of timestamps.
 	stamps := map[time.Duration]bool{}
 	for _, n := range names {

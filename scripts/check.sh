@@ -1,0 +1,29 @@
+#!/bin/sh
+# check.sh runs the repository's full verification gate — the same
+# steps CI runs (.github/workflows/ci.yml), in the same order, so a
+# clean local run means a clean CI run.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> gofmt -l ."
+unformatted="$(gofmt -l .)"
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo "==> thermlint ./..."
+go run ./cmd/thermlint ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "OK"

@@ -1,6 +1,6 @@
 # Verification targets mirror .github/workflows/ci.yml.
 
-.PHONY: all build test race lint check
+.PHONY: all build test race lint check bench
 
 all: check
 
@@ -23,3 +23,8 @@ lint:
 # check is the full CI gate.
 check:
 	./scripts/check.sh
+
+# bench refreshes BENCH_cluster.json from the cluster scale benchmark
+# suite (BENCHTIME=1x for a smoke run).
+bench:
+	./scripts/bench.sh

@@ -1,0 +1,228 @@
+// Command benchjson converts `go test -bench` output into the
+// repository's benchmark-trajectory JSON (BENCH_cluster.json). It reads
+// the benchmark text from stdin and writes one JSON document to stdout:
+// the host header (goos/goarch/cpu/gomaxprocs), every benchmark result with its
+// parsed nodes=/workers= parameters and reported metrics, and — for
+// every (benchmark, nodes) group that includes a workers=1 run — the
+// parallel speedup of each worker count over serial.
+//
+// Usage:
+//
+//	go test -run '^$' -bench BenchmarkClusterStep ./internal/cluster | go run ./cmd/benchjson > BENCH_cluster.json
+//
+// scripts/bench.sh (make bench) wraps exactly that pipeline.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	// Name is the full benchmark name as printed, including the
+	// -GOMAXPROCS suffix.
+	Name string `json:"name"`
+	// Benchmark is the name with the "Benchmark" prefix, sub-benchmark
+	// parameters and -procs suffix stripped: "ClusterStep".
+	Benchmark string `json:"benchmark"`
+	// Nodes and Workers are parsed from nodes=/workers= path elements;
+	// zero when absent.
+	Nodes      int     `json:"nodes,omitempty"`
+	Workers    int     `json:"workers,omitempty"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// Metrics holds any extra `value unit` pairs (b.ReportMetric and
+	// -benchmem output), keyed by unit.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Speedup is serial ns/op over parallel ns/op within one
+// (benchmark, nodes) group.
+type Speedup struct {
+	Benchmark string  `json:"benchmark"`
+	Nodes     int     `json:"nodes"`
+	Workers   int     `json:"workers"`
+	VsSerial  float64 `json:"speedup_vs_serial"`
+}
+
+// Report is the emitted document.
+type Report struct {
+	Suite   string            `json:"suite"`
+	Host    map[string]string `json:"host,omitempty"`
+	Results []Result          `json:"results"`
+	// Speedups is derived, not measured: within each (benchmark, nodes)
+	// group, ns/op(workers=1) / ns/op(workers=W).
+	Speedups []Speedup `json:"speedups,omitempty"`
+}
+
+func main() {
+	rep, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(rep.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark results on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse consumes `go test -bench` text output.
+func parse(r io.Reader) (*Report, error) {
+	rep := &Report{Suite: "cluster-step", Host: map[string]string{}}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || line == "PASS" || strings.HasPrefix(line, "ok "):
+			continue
+		case strings.HasPrefix(line, "Benchmark"):
+			res, err := parseBenchLine(line)
+			if err != nil {
+				return nil, err
+			}
+			rep.Results = append(rep.Results, res)
+		default:
+			// Header lines: "goos: linux", "cpu: ...", "pkg: ...".
+			if k, v, ok := strings.Cut(line, ":"); ok {
+				rep.Host[strings.TrimSpace(k)] = strings.TrimSpace(v)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rep.Results) > 0 {
+		// The -GOMAXPROCS name suffix (absent when 1) is the only place
+		// go test reports the runner's parallelism; surface it so the
+		// committed speedup numbers are interpretable.
+		procs := 1
+		for _, r := range rep.Results {
+			if p := procsSuffix(r.Name); p > procs {
+				procs = p
+			}
+		}
+		rep.Host["gomaxprocs"] = strconv.Itoa(procs)
+	}
+	rep.Speedups = speedups(rep.Results)
+	return rep, nil
+}
+
+// procsSuffix extracts the trailing -GOMAXPROCS from a benchmark name,
+// defaulting to 1 when absent.
+func procsSuffix(name string) int {
+	parts := strings.Split(name, "/")
+	last := parts[len(parts)-1]
+	if i := strings.LastIndex(last, "-"); i >= 0 {
+		if p, err := strconv.Atoi(last[i+1:]); err == nil && p > 0 {
+			return p
+		}
+	}
+	return 1
+}
+
+// parseBenchLine splits one result line:
+//
+//	BenchmarkClusterStep/nodes=64/workers=4-8   100   25564 ns/op   2503501 node-steps/s
+func parseBenchLine(line string) (Result, error) {
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return Result{}, fmt.Errorf("malformed benchmark line %q", line)
+	}
+	res := Result{Name: f[0], Metrics: map[string]float64{}}
+	res.Benchmark, res.Nodes, res.Workers = splitName(f[0])
+	var err error
+	if res.Iterations, err = strconv.ParseInt(f[1], 10, 64); err != nil {
+		return Result{}, fmt.Errorf("iteration count in %q: %w", line, err)
+	}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Result{}, fmt.Errorf("metric value in %q: %w", line, err)
+		}
+		if f[i+1] == "ns/op" {
+			res.NsPerOp = v
+		} else {
+			res.Metrics[f[i+1]] = v
+		}
+	}
+	if res.NsPerOp == 0 {
+		return Result{}, fmt.Errorf("no ns/op in %q", line)
+	}
+	if len(res.Metrics) == 0 {
+		res.Metrics = nil
+	}
+	return res, nil
+}
+
+// splitName decomposes "BenchmarkClusterStep/nodes=64/workers=4-8".
+func splitName(name string) (benchmark string, nodes, workers int) {
+	parts := strings.Split(name, "/")
+	benchmark = strings.TrimPrefix(parts[0], "Benchmark")
+	// The last element carries the -GOMAXPROCS suffix.
+	if n := len(parts); n > 1 {
+		if base, _, ok := strings.Cut(parts[n-1], "-"); ok {
+			parts[n-1] = base
+		}
+	}
+	for _, p := range parts[1:] {
+		k, v, ok := strings.Cut(p, "=")
+		if !ok {
+			continue
+		}
+		if i, err := strconv.Atoi(v); err == nil {
+			switch k {
+			case "nodes":
+				nodes = i
+			case "workers":
+				workers = i
+			}
+		}
+	}
+	return benchmark, nodes, workers
+}
+
+// speedups derives, per (benchmark, nodes) group, the serial-over-
+// parallel ns/op ratio for every non-serial worker count. Groups
+// without a workers=1 baseline produce nothing.
+func speedups(results []Result) []Speedup {
+	type key struct {
+		bench string
+		nodes int
+	}
+	serial := map[key]float64{}
+	for _, r := range results {
+		if r.Workers == 1 && r.Nodes > 0 {
+			serial[key{r.Benchmark, r.Nodes}] = r.NsPerOp
+		}
+	}
+	var out []Speedup
+	for _, r := range results {
+		if r.Workers <= 1 || r.Nodes == 0 {
+			continue
+		}
+		base, ok := serial[key{r.Benchmark, r.Nodes}]
+		if !ok || r.NsPerOp == 0 {
+			continue
+		}
+		out = append(out, Speedup{
+			Benchmark: r.Benchmark,
+			Nodes:     r.Nodes,
+			Workers:   r.Workers,
+			VsSerial:  base / r.NsPerOp,
+		})
+	}
+	return out
+}

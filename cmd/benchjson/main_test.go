@@ -1,0 +1,94 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: thermctl/internal/cluster
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkClusterStep/nodes=64/workers=1-8         	     100	     60000 ns/op	   1064332 node-steps/s
+BenchmarkClusterStep/nodes=64/workers=4-8         	     100	     15000 ns/op	   2503501 node-steps/s
+BenchmarkClusterStep/nodes=256/workers=1-8        	      50	     76227 ns/op	   3358403 node-steps/s
+BenchmarkClusterStepRack/nodes=64/workers=4-8     	      20	     96024.5 ns/op
+PASS
+ok  	thermctl/internal/cluster	0.039s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 4 {
+		t.Fatalf("parsed %d results, want 4", len(rep.Results))
+	}
+	if rep.Host["goos"] != "linux" || rep.Host["cpu"] == "" {
+		t.Errorf("host header not captured: %v", rep.Host)
+	}
+	if rep.Host["gomaxprocs"] != "8" {
+		t.Errorf("gomaxprocs = %q, want 8 (from the -8 name suffix)", rep.Host["gomaxprocs"])
+	}
+
+	r := rep.Results[0]
+	if r.Benchmark != "ClusterStep" || r.Nodes != 64 || r.Workers != 1 {
+		t.Errorf("name decomposition: %+v", r)
+	}
+	if r.Iterations != 100 || r.NsPerOp != 60000 {
+		t.Errorf("numbers: %+v", r)
+	}
+	if r.Metrics["node-steps/s"] != 1064332 {
+		t.Errorf("extra metric lost: %v", r.Metrics)
+	}
+	if frac := rep.Results[3].NsPerOp; frac != 96024.5 {
+		t.Errorf("fractional ns/op parsed as %v", frac)
+	}
+	if rep.Results[3].Benchmark != "ClusterStepRack" {
+		t.Errorf("rack benchmark name: %q", rep.Results[3].Benchmark)
+	}
+}
+
+func TestSpeedups(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only ClusterStep/nodes=64 has both a serial baseline and a
+	// parallel run; ClusterStepRack has no workers=1 line and
+	// nodes=256 has no parallel line.
+	if len(rep.Speedups) != 1 {
+		t.Fatalf("speedups: %+v", rep.Speedups)
+	}
+	s := rep.Speedups[0]
+	if s.Benchmark != "ClusterStep" || s.Nodes != 64 || s.Workers != 4 {
+		t.Errorf("speedup keyed wrong: %+v", s)
+	}
+	if math.Abs(s.VsSerial-4.0) > 1e-9 {
+		t.Errorf("speedup = %v, want 4.0", s.VsSerial)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"BenchmarkX 12", // too few fields
+		"BenchmarkX abc 100 ns/op",
+		"BenchmarkX 10 100 widgets", // no ns/op
+	} {
+		if _, err := parse(strings.NewReader(bad + "\n")); err == nil {
+			t.Errorf("malformed line accepted: %q", bad)
+		}
+	}
+}
+
+func TestParseEmptyInput(t *testing.T) {
+	rep, err := parse(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 0 {
+		t.Errorf("results from empty input: %+v", rep.Results)
+	}
+}

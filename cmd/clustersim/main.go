@@ -7,12 +7,14 @@
 //
 //	clustersim [-nodes 4] [-program bt|lu] [-fan dynamic|static|constant|auto]
 //	           [-dvfs none|tdvfs|cpuspeed] [-pp 50] [-max-duty 50] [-seed N]
+//	           [-workers GOMAXPROCS]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"thermctl/internal/baseline"
 	"thermctl/internal/cluster"
@@ -20,20 +22,76 @@ import (
 	"thermctl/internal/workload"
 )
 
-func main() {
-	nodes := flag.Int("nodes", 4, "cluster size")
-	program := flag.String("program", "bt", "program: bt or lu")
-	fanMethod := flag.String("fan", "dynamic", "fan control: dynamic, static, constant or auto (chip firmware)")
-	dvfs := flag.String("dvfs", "tdvfs", "DVFS daemon: none, tdvfs or cpuspeed")
-	pp := flag.Int("pp", 50, "policy parameter Pp in [1,100]")
-	maxDuty := flag.Float64("max-duty", 50, "maximum PWM duty, percent")
-	seed := flag.Uint64("seed", 20100131, "simulation seed")
-	flag.Parse()
+// options holds the parsed command line, so validation is testable
+// apart from flag registration and os.Exit.
+type options struct {
+	nodes     int
+	program   string
+	fanMethod string
+	dvfs      string
+	pp        int
+	maxDuty   float64
+	workers   int
+}
 
-	c, err := cluster.New(*nodes, cluster.DefaultDt, *seed)
+// validate rejects out-of-range or unknown values with an error naming
+// the offending flag, before any construction starts — a bad value must
+// fail at the command line, not panic (or silently misbehave) deep in
+// cluster setup.
+func (o options) validate() error {
+	if o.nodes < 1 {
+		return fmt.Errorf("-nodes %d: cluster needs at least one node", o.nodes)
+	}
+	switch o.program {
+	case "bt", "lu":
+	default:
+		return fmt.Errorf("-program %q: unknown program (want bt or lu)", o.program)
+	}
+	switch o.fanMethod {
+	case "dynamic", "static", "constant", "auto":
+	default:
+		return fmt.Errorf("-fan %q: unknown fan method (want dynamic, static, constant or auto)", o.fanMethod)
+	}
+	switch o.dvfs {
+	case "none", "tdvfs", "cpuspeed":
+	default:
+		return fmt.Errorf("-dvfs %q: unknown DVFS daemon (want none, tdvfs or cpuspeed)", o.dvfs)
+	}
+	if o.pp < 1 || o.pp > 100 {
+		return fmt.Errorf("-pp %d: policy parameter outside [1,100]", o.pp)
+	}
+	if o.maxDuty <= 0 || o.maxDuty > 100 {
+		return fmt.Errorf("-max-duty %g: duty cap outside (0,100]", o.maxDuty)
+	}
+	if o.workers < 1 {
+		return fmt.Errorf("-workers %d: need at least one worker", o.workers)
+	}
+	return nil
+}
+
+func main() {
+	var o options
+	flag.IntVar(&o.nodes, "nodes", 4, "cluster size")
+	flag.StringVar(&o.program, "program", "bt", "program: bt or lu")
+	flag.StringVar(&o.fanMethod, "fan", "dynamic", "fan control: dynamic, static, constant or auto (chip firmware)")
+	flag.StringVar(&o.dvfs, "dvfs", "tdvfs", "DVFS daemon: none, tdvfs or cpuspeed")
+	flag.IntVar(&o.pp, "pp", 50, "policy parameter Pp in [1,100]")
+	flag.Float64Var(&o.maxDuty, "max-duty", 50, "maximum PWM duty, percent")
+	seed := flag.Uint64("seed", 20100131, "simulation seed")
+	flag.IntVar(&o.workers, "workers", runtime.GOMAXPROCS(0),
+		"worker goroutines stepping the nodes (results are identical for any value)")
+	flag.Parse()
+	if err := o.validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "clustersim:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	c, err := cluster.New(o.nodes, cluster.DefaultDt, *seed)
 	if err != nil {
 		fatal(err)
 	}
+	c.SetWorkers(o.workers)
 	c.Settle(0)
 
 	// Per-node controllers, exactly as daemons run per machine.
@@ -43,34 +101,32 @@ func main() {
 		freqPort := &core.SysfsFreqPort{FS: n.FS, Paths: n.Cpufreq}
 
 		var fanCtl *core.Controller
-		switch *fanMethod {
+		switch o.fanMethod {
 		case "dynamic":
-			fanCtl, err = core.NewController(core.DefaultConfig(*pp), read,
-				core.ActuatorBinding{Actuator: core.NewFanActuator(fanPort, *maxDuty)})
+			fanCtl, err = core.NewController(core.DefaultConfig(o.pp), read,
+				core.ActuatorBinding{Actuator: core.NewFanActuator(fanPort, o.maxDuty)})
 			if err != nil {
 				fatal(err)
 			}
 		case "static":
-			s, err := baseline.NewStaticFan(baseline.DefaultStaticFanConfig(*maxDuty), read, fanPort)
+			s, err := baseline.NewStaticFan(baseline.DefaultStaticFanConfig(o.maxDuty), read, fanPort)
 			if err != nil {
 				fatal(err)
 			}
 			c.AddController(s)
 		case "constant":
-			c.AddController(baseline.NewConstantFan(*maxDuty, fanPort))
+			c.AddController(baseline.NewConstantFan(o.maxDuty, fanPort))
 		case "auto":
 			// chip firmware curve; nothing to attach
-		default:
-			fatal(fmt.Errorf("unknown fan method %q", *fanMethod))
 		}
 
-		switch *dvfs {
+		switch o.dvfs {
 		case "tdvfs":
 			act, err := core.NewDVFSActuator(freqPort)
 			if err != nil {
 				fatal(err)
 			}
-			d, err := core.NewTDVFS(core.DefaultTDVFSConfig(*pp), read, act)
+			d, err := core.NewTDVFS(core.DefaultTDVFSConfig(o.pp), read, act)
 			if err != nil {
 				fatal(err)
 			}
@@ -87,8 +143,6 @@ func main() {
 			}
 			c.AddController(cs)
 		case "none":
-		default:
-			fatal(fmt.Errorf("unknown dvfs daemon %q", *dvfs))
 		}
 		if fanCtl != nil {
 			c.AddController(fanCtl)
@@ -96,17 +150,15 @@ func main() {
 	}
 
 	var prog workload.Program
-	switch *program {
+	switch o.program {
 	case "bt":
 		prog = workload.BTB4()
 	case "lu":
 		prog = workload.LUB4()
-	default:
-		fatal(fmt.Errorf("unknown program %q", *program))
 	}
 
-	fmt.Printf("clustersim: %s on %d nodes, fan=%s dvfs=%s Pp=%d max-duty=%.0f%%\n",
-		prog, *nodes, *fanMethod, *dvfs, *pp, *maxDuty)
+	fmt.Printf("clustersim: %s on %d nodes (%d workers), fan=%s dvfs=%s Pp=%d max-duty=%.0f%%\n",
+		prog, o.nodes, c.Workers(), o.fanMethod, o.dvfs, o.pp, o.maxDuty)
 	res := c.RunProgram(prog, 0)
 	if res.TimedOut {
 		fmt.Println("WARNING: run hit the simulation time limit")

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func validOptions() options {
+	return options{
+		nodes: 4, program: "bt", fanMethod: "dynamic", dvfs: "tdvfs",
+		pp: 50, maxDuty: 50, workers: 1,
+	}
+}
+
+func TestValidateAcceptsDefaults(t *testing.T) {
+	if err := validOptions().validate(); err != nil {
+		t.Fatalf("default options rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsOutOfRangeFlags(t *testing.T) {
+	cases := []struct {
+		flag   string // must appear in the error, naming the offender
+		mutate func(*options)
+	}{
+		{"-nodes", func(o *options) { o.nodes = 0 }},
+		{"-nodes", func(o *options) { o.nodes = -3 }},
+		{"-program", func(o *options) { o.program = "cg" }},
+		{"-fan", func(o *options) { o.fanMethod = "turbo" }},
+		{"-dvfs", func(o *options) { o.dvfs = "ondemand" }},
+		{"-pp", func(o *options) { o.pp = 0 }},
+		{"-pp", func(o *options) { o.pp = 101 }},
+		{"-max-duty", func(o *options) { o.maxDuty = 0 }},
+		{"-max-duty", func(o *options) { o.maxDuty = 150 }},
+		{"-workers", func(o *options) { o.workers = 0 }},
+	}
+	for _, tc := range cases {
+		o := validOptions()
+		tc.mutate(&o)
+		err := o.validate()
+		if err == nil {
+			t.Errorf("%s: invalid value accepted (%+v)", tc.flag, o)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.flag) {
+			t.Errorf("error %q does not name the offending flag %s", err, tc.flag)
+		}
+	}
+}
+
+func TestValidateAcceptsEveryKnownMode(t *testing.T) {
+	for _, fan := range []string{"dynamic", "static", "constant", "auto"} {
+		for _, dvfs := range []string{"none", "tdvfs", "cpuspeed"} {
+			for _, prog := range []string{"bt", "lu"} {
+				o := validOptions()
+				o.fanMethod, o.dvfs, o.program = fan, dvfs, prog
+				if err := o.validate(); err != nil {
+					t.Errorf("fan=%s dvfs=%s program=%s rejected: %v", fan, dvfs, prog, err)
+				}
+			}
+		}
+	}
+}

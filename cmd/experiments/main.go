@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -29,7 +30,15 @@ func main() {
 	seed := flag.Uint64("seed", experiment.Seed, "simulation seed")
 	csvDir := flag.String("csv", "", "directory to write per-figure CSV series into")
 	markdown := flag.Bool("markdown", false, "emit the full generated reproduction report as markdown and exit")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0),
+		"worker goroutines stepping each cluster (results are identical for any value)")
 	flag.Parse()
+	if *workers < 1 {
+		fmt.Fprintf(os.Stderr, "experiments: -workers %d: need at least one worker\n", *workers)
+		flag.Usage()
+		os.Exit(2)
+	}
+	experiment.Workers = *workers
 
 	if *markdown {
 		all, err := report.Collect(*seed)

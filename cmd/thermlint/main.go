@@ -1,5 +1,5 @@
 // Command thermlint is the repository's domain-aware static-analysis
-// gate. It runs four analyzers over the module:
+// gate. It runs five analyzers over the module:
 //
 //	determinism   — no wall-clock, global math/rand or map-ordered
 //	                effects inside the simulation core
@@ -8,6 +8,8 @@
 //	                errors, including the `_ =` idiom
 //	mutexcallback — no user-supplied callbacks invoked under a sync
 //	                mutex
+//	shardsafe     — no runtime-mutable package-level state in the
+//	                node-model packages stepped in parallel
 //
 // Usage:
 //
@@ -32,6 +34,7 @@ import (
 	"thermctl/internal/lint/determinism"
 	"thermctl/internal/lint/mutexcallback"
 	"thermctl/internal/lint/onstepblock"
+	"thermctl/internal/lint/shardsafe"
 )
 
 var allAnalyzers = []*lint.Analyzer{
@@ -39,6 +42,7 @@ var allAnalyzers = []*lint.Analyzer{
 	determinism.Analyzer,
 	mutexcallback.Analyzer,
 	onstepblock.Analyzer,
+	shardsafe.Analyzer,
 }
 
 func main() {

@@ -1,0 +1,118 @@
+package cluster
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"thermctl/internal/rack"
+	"thermctl/internal/workload"
+)
+
+// benchWorkerCounts returns the worker sweep for the scale benchmarks:
+// serial, four-way, and all-the-way (GOMAXPROCS), deduplicated so
+// sub-benchmark names stay unique on small machines.
+func benchWorkerCounts() []int {
+	counts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	var out []int
+	for _, w := range counts {
+		dup := false
+		for _, seen := range out {
+			if seen == w {
+				dup = true
+			}
+		}
+		if !dup {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+func benchCluster(b *testing.B, nodes, workers int) *Cluster {
+	b.Helper()
+	c, err := New(nodes, DefaultDt, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.SetWorkers(workers)
+	for _, n := range c.Nodes {
+		n.SetGenerator(workload.Constant(0.9))
+	}
+	return c
+}
+
+// BenchmarkClusterStep is the scale benchmark behind BENCH_cluster.json
+// (refresh with `make bench`): one full cluster step — all node models
+// advanced plus the serial controller phase — at rack scales, across
+// worker counts. Within one nodes= group, ns/op at workers=1 over
+// ns/op at workers=W is the parallel speedup; results are
+// byte-identical across the sweep (see TestParallelStepByteIdentical),
+// so the sweep measures wall-clock only.
+func BenchmarkClusterStep(b *testing.B) {
+	for _, nodes := range []int{4, 64, 256} {
+		for _, workers := range benchWorkerCounts() {
+			b.Run(fmt.Sprintf("nodes=%d/workers=%d", nodes, workers), func(b *testing.B) {
+				c := benchCluster(b, nodes, workers)
+				defer c.Close()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					c.Step()
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(nodes)*float64(b.N)/b.Elapsed().Seconds(), "node-steps/s")
+			})
+		}
+	}
+}
+
+// BenchmarkClusterStepRack is the rack-coupled variant: a 64-node rack
+// whose air-recirculation controller runs in the serial phase of every
+// step, the worst case for parallel efficiency (Amdahl's serial
+// fraction includes the O(n²) inlet-target recomputation).
+func BenchmarkClusterStepRack(b *testing.B) {
+	const nodes = 64
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("nodes=%d/workers=%d", nodes, workers), func(b *testing.B) {
+			c := benchCluster(b, nodes, workers)
+			defer c.Close()
+			r, err := rack.New(rack.Default(), c.Nodes)
+			if err != nil {
+				b.Fatal(err)
+			}
+			c.AddController(r)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Step()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(nodes)*float64(b.N)/b.Elapsed().Seconds(), "node-steps/s")
+		})
+	}
+}
+
+// BenchmarkClusterRunProgram measures the SPMD path (advanceProc +
+// barrier release) rather than the open-loop path.
+func BenchmarkClusterRunProgram(b *testing.B) {
+	prog := workload.Uniform("bench", 2, workload.Iteration{
+		ComputeGC: 0.5, ComputeUtil: 1, CommSec: 0.02, CommUtil: 0.1,
+	})
+	for _, nodes := range []int{4, 64} {
+		for _, workers := range benchWorkerCounts() {
+			b.Run(fmt.Sprintf("nodes=%d/workers=%d", nodes, workers), func(b *testing.B) {
+				c, err := New(nodes, DefaultDt, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer c.Close()
+				c.SetWorkers(workers)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if res := c.RunProgram(prog, 0); res.TimedOut {
+						b.Fatal("benchmark program timed out")
+					}
+				}
+			})
+		}
+	}
+}

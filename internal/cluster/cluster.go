@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"thermctl/internal/node"
+	"thermctl/internal/rng"
 	"thermctl/internal/simclock"
 	"thermctl/internal/workload"
 )
@@ -54,14 +55,24 @@ type Cluster struct {
 	// WaitUtil is the utilization of a process blocked at a barrier: an
 	// MPI rank in a blocking wait is near idle but not at zero.
 	WaitUtil float64
+
+	// workers and pool implement sharded parallel node advancement
+	// (see SetWorkers in shard.go). workers is 1 and pool nil until
+	// SetWorkers asks for more.
+	workers int
+	pool    *shardPool
 }
 
 // New builds a cluster of n default nodes stepping at dt. Node i is
-// named "node<i>" and seeded deterministically from seed.
+// named "node<i>" and seeded deterministically from seed: per-node
+// seeds are derived with rng.Mix, so clusters built from different
+// master seeds never share a node noise stream (an additive offset
+// would collide whenever two seeds differ by a multiple of the
+// stride).
 func New(n int, dt time.Duration, seed uint64) (*Cluster, error) {
-	c := &Cluster{Clock: simclock.NewClock(dt), WaitUtil: 0.06}
+	c := &Cluster{Clock: simclock.NewClock(dt), WaitUtil: 0.06, workers: 1}
 	for i := 0; i < n; i++ {
-		nd, err := node.New(node.DefaultConfig(fmt.Sprintf("node%d", i), seed+uint64(i)*7919))
+		nd, err := node.New(node.DefaultConfig(fmt.Sprintf("node%d", i), rng.Mix(seed, uint64(i))))
 		if err != nil {
 			return nil, err
 		}
@@ -76,7 +87,7 @@ func NewWithNodes(nodes []*node.Node, dt time.Duration) (*Cluster, error) {
 	if len(nodes) == 0 {
 		return nil, fmt.Errorf("cluster: no nodes")
 	}
-	return &Cluster{Clock: simclock.NewClock(dt), Nodes: nodes, WaitUtil: 0.06}, nil
+	return &Cluster{Clock: simclock.NewClock(dt), Nodes: nodes, WaitUtil: 0.06, workers: 1}, nil
 }
 
 // AddController registers a controller to be invoked every step.
@@ -97,16 +108,20 @@ func (c *Cluster) tickControllers() {
 	}
 }
 
-// Step advances every node and then the controllers by one clock step.
+// Step advances every node — in parallel across the worker shards when
+// SetWorkers configured a pool — and then the controllers by one clock
+// step. The controller phase is always single-threaded: it begins only
+// after the worker barrier, so controllers observe every node at the
+// same step boundary, exactly as under serial stepping.
 func (c *Cluster) Step() {
 	dt := c.Clock.Dt()
-	for _, n := range c.Nodes {
-		n.Step(dt)
-	}
+	c.advanceNodes(func(i int) { c.Nodes[i].Step(dt) })
 	c.tickControllers()
 }
 
-// RunGenerator attaches g to every node and steps for d.
+// RunGenerator attaches g to every node and steps for d. When the
+// cluster steps in parallel (SetWorkers), g must be stateless — see
+// SetWorkers for the contract.
 func (c *Cluster) RunGenerator(g workload.Generator, d time.Duration) {
 	for _, n := range c.Nodes {
 		n.SetGenerator(g)
@@ -189,9 +204,10 @@ func (c *Cluster) RunProgram(prog workload.Program, maxTime time.Duration) RunRe
 			return RunResult{Program: prog.Name, ExecTime: c.Clock.Now() - start, TimedOut: true}
 		}
 
-		for i, n := range c.Nodes {
-			c.advanceProc(n, &states[i], prog, dt)
-		}
+		// Parallel phase: each process advances against its own node
+		// and its own state slot; prog and WaitUtil are read-only.
+		// Barrier release is a global decision and stays serial.
+		c.advanceNodes(func(i int) { c.advanceProc(c.Nodes[i], &states[i], prog, dt) })
 		c.releaseBarrier(states, prog)
 		c.tickControllers()
 	}

@@ -207,17 +207,3 @@ func TestBTB4ExecutionTimeCalibration(t *testing.T) {
 		t.Errorf("BT.B.4 at fixed 2.4 GHz ran %.1f s, want 219±7 (paper Table 1)", got)
 	}
 }
-
-func BenchmarkClusterStep4Nodes(b *testing.B) {
-	c, err := New(4, DefaultDt, 1)
-	if err != nil {
-		b.Fatal(err)
-	}
-	for _, n := range c.Nodes {
-		n.SetGenerator(workload.Constant(0.9))
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		c.Step()
-	}
-}

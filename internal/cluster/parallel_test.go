@@ -1,0 +1,200 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"testing"
+	"time"
+
+	"thermctl/internal/workload"
+)
+
+// signature captures the full observable state trajectory of a cluster
+// run with the given worker count: every node's bit-exact die
+// temperature, sensed temperature, fan duty, frequency and power at
+// every step, plus the RunResults of a generator phase and a program
+// phase. Floats are rendered as hex bit patterns so "byte-identical"
+// means exactly that — no formatting rounding can hide a divergence.
+func signature(t *testing.T, workers int) []byte {
+	t.Helper()
+	c, err := New(8, DefaultDt, 20100131)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetWorkers(workers)
+	if workers <= 8 && c.Workers() != max(workers, 1) {
+		t.Fatalf("Workers() = %d after SetWorkers(%d)", c.Workers(), workers)
+	}
+	c.Settle(0)
+
+	var sig []byte
+	bits := func(v float64) {
+		sig = strconv.AppendUint(sig, math.Float64bits(v), 16)
+		sig = append(sig, ' ')
+	}
+	snapshot := ControllerFunc(func(now time.Duration) {
+		sig = append(sig, []byte(now.String())...)
+		for _, n := range c.Nodes {
+			bits(n.TrueDieC())
+			bits(n.Sensor.Read())
+			bits(n.Fan.Duty())
+			bits(n.CPU.FreqGHz())
+			bits(n.Power().Total())
+			bits(n.Meter.CPUEnergyJ())
+		}
+		sig = append(sig, '\n')
+	})
+	c.AddController(snapshot)
+
+	// Phase 1: open-loop generator (stateless, as the parallel contract
+	// requires for a shared generator).
+	c.RunGenerator(workload.Constant(0.85), 5*time.Second)
+
+	// Phase 2: an SPMD program with skewed frequencies so the barrier
+	// logic (the serial phase) is genuinely exercised.
+	c.Nodes[3].CPU.SetFreqGHz(1.8)
+	c.Nodes[5].CPU.SetFreqGHz(1.0)
+	prog := workload.Uniform("sig", 6, workload.Iteration{
+		ComputeGC: 1.1, ComputeUtil: 1, MemSec: 0.05, CommSec: 0.06, CommUtil: 0.1,
+	})
+	res := c.RunProgram(prog, 0)
+	sig = fmt.Appendf(sig, "result %s %d %v\n", res.Program, res.ExecTime, res.TimedOut)
+	return sig
+}
+
+// TestParallelStepByteIdentical is the tentpole invariant: sharded
+// parallel stepping produces byte-identical trajectories and results
+// for every worker count, including worker counts above the node count
+// (clamped) — the pool only changes wall-clock time.
+func TestParallelStepByteIdentical(t *testing.T) {
+	want := signature(t, 1)
+	if len(want) == 0 {
+		t.Fatal("empty signature")
+	}
+	for _, workers := range []int{2, 3, 8, 16} {
+		got := signature(t, workers)
+		if string(got) != string(want) {
+			t.Errorf("workers=%d: trajectory diverged from serial (len %d vs %d)",
+				workers, len(got), len(want))
+		}
+	}
+}
+
+// TestParallelRunGeneratorMatchesSerial covers the Step/RunGenerator
+// path on its own, without a program phase.
+func TestParallelRunGeneratorMatchesSerial(t *testing.T) {
+	run := func(workers int) []float64 {
+		c, err := New(5, DefaultDt, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		c.SetWorkers(workers)
+		c.Settle(0)
+		c.RunGenerator(workload.Step{Before: 0.1, After: 1, At: 2 * time.Second}, 6*time.Second)
+		var out []float64
+		for _, n := range c.Nodes {
+			out = append(out, n.TrueDieC(), n.Sensor.Read(), n.Meter.CPUEnergyJ())
+		}
+		return out
+	}
+	want := run(1)
+	for _, workers := range []int{2, 5} {
+		got := run(workers)
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("workers=%d: observable %d = %v, serial %v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSetWorkersReconfigures checks pool rebuild and serial fallback.
+func TestSetWorkersReconfigures(t *testing.T) {
+	c, err := New(4, DefaultDt, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Workers() != 1 {
+		t.Fatalf("fresh cluster has %d workers", c.Workers())
+	}
+	c.SetWorkers(2)
+	c.Step()
+	c.SetWorkers(4)
+	c.Step()
+	if c.Workers() != 4 {
+		t.Fatalf("Workers() = %d, want 4", c.Workers())
+	}
+	c.SetWorkers(1)
+	if c.pool != nil {
+		t.Fatal("serial cluster still holds a pool")
+	}
+	c.Step()
+	c.SetWorkers(0) // GOMAXPROCS default, clamped to node count
+	if w := c.Workers(); w < 1 || w > 4 {
+		t.Fatalf("SetWorkers(0) gave %d workers", w)
+	}
+	c.Step()
+	c.Close()
+	c.Close() // idempotent
+	c.Step()  // still usable serially
+	if c.Clock.Now() < 5*DefaultDt {
+		t.Fatalf("clock at %v after five steps", c.Clock.Now())
+	}
+}
+
+// TestSeedMixRegression: with the old additive derivation
+// (seed + i·7919), cluster(seed=0) node 1 and cluster(seed=7919)
+// node 0 shared one RNG stream, so their sensors produced identical
+// noise forever. The mixed derivation must keep them apart.
+func TestSeedMixRegression(t *testing.T) {
+	a, err := New(2, DefaultDt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(2, DefaultDt, 7919)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Settle(0.5)
+	b.Settle(0.5)
+	same := true
+	for i := 0; i < 20; i++ {
+		a.Step()
+		b.Step()
+		if math.Float64bits(a.Nodes[1].Sensor.Read()) != math.Float64bits(b.Nodes[0].Sensor.Read()) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("clusters seeded 0 and 7919 share a node noise stream (additive seed derivation)")
+	}
+}
+
+// TestSeedsStillDeterministic: the mixed derivation must stay a pure
+// function of (seed, index).
+func TestSeedsStillDeterministic(t *testing.T) {
+	a, err := New(3, DefaultDt, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(3, DefaultDt, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Settle(0.5)
+	b.Settle(0.5)
+	for i := 0; i < 10; i++ {
+		a.Step()
+		b.Step()
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i].Sensor.Read() != b.Nodes[i].Sensor.Read() {
+			t.Fatalf("node %d diverged between identically seeded clusters", i)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package cluster
+
+import "runtime"
+
+// shardPool is a persistent pool of worker goroutines that advance
+// disjoint shards of the cluster's nodes in parallel. Nodes receive a
+// fixed contiguous shard assignment when the pool is built; every
+// dispatch wakes each worker exactly once, the workers run the step's
+// job over their own nodes, and dispatch returns only after all of them
+// have finished — a full barrier, so the caller's serial phase
+// (barrier release, controllers, rack coupling) never overlaps node
+// advancement.
+//
+// Because a node's step touches only that node's state (the shardsafe
+// analyzer enforces the absence of package-level mutable state in the
+// model packages), the floating-point work performed for node i is the
+// same instruction sequence regardless of which worker runs it or in
+// what order the shards complete. Results are therefore byte-identical
+// to serial execution for every worker count; the pool only changes
+// wall-clock time.
+type shardPool struct {
+	// shards[w] holds the node indices assigned to worker w. The
+	// assignment is contiguous so workers walk adjacent nodes
+	// (cache-friendly) and never share an index.
+	shards [][]int
+
+	// job is the per-node work of the current dispatch. It is written
+	// by dispatch before the start signals and read by the workers
+	// after them; the channel operations order the accesses.
+	job func(node int)
+
+	start []chan struct{}
+	done  chan struct{}
+	quit  chan struct{}
+}
+
+// newShardPool starts workers goroutines over n nodes. workers must be
+// in [2, n]; callers clamp before constructing.
+func newShardPool(workers, n int) *shardPool {
+	p := &shardPool{
+		shards: make([][]int, workers),
+		start:  make([]chan struct{}, workers),
+		done:   make(chan struct{}, workers),
+		quit:   make(chan struct{}),
+	}
+	for w := 0; w < workers; w++ {
+		lo, hi := w*n/workers, (w+1)*n/workers
+		shard := make([]int, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			shard = append(shard, i)
+		}
+		p.shards[w] = shard
+		p.start[w] = make(chan struct{}, 1)
+		go p.loop(w)
+	}
+	return p
+}
+
+// loop is one worker: wait for the step signal, advance the shard,
+// report completion.
+func (p *shardPool) loop(w int) {
+	for {
+		select {
+		case <-p.quit:
+			return
+		case <-p.start[w]:
+			for _, i := range p.shards[w] {
+				p.job(i)
+			}
+			p.done <- struct{}{}
+		}
+	}
+}
+
+// dispatch runs job(i) for every node index, sharded across the
+// workers, and returns after all shards have completed.
+func (p *shardPool) dispatch(job func(node int)) {
+	p.job = job
+	for _, ch := range p.start {
+		ch <- struct{}{}
+	}
+	for range p.start {
+		<-p.done
+	}
+	p.job = nil
+}
+
+// close releases the worker goroutines. The pool must be idle.
+func (p *shardPool) close() {
+	close(p.quit)
+}
+
+// SetWorkers shards node advancement across w persistent worker
+// goroutines. w <= 0 selects GOMAXPROCS; w is clamped to the node
+// count; w == 1 (or a single-node cluster) restores plain serial
+// stepping. The shard assignment is fixed for the life of the pool.
+//
+// Within a step the nodes are fully independent — controllers, barrier
+// release and rack coupling all run in the serial phase after the
+// worker barrier — so traces, sensor readings and RunProgram results
+// are byte-identical to serial execution for every worker count.
+//
+// One contract follows from parallel advancement: a workload.Generator
+// attached to more than one node (Cluster.RunGenerator does this) must
+// be stateless, as the built-in Constant/Step/Ramp/Jitter generators
+// are. A generator with internal state (e.g. CPUBurn with a noise
+// stream) shared across nodes would be stepped concurrently; give each
+// node its own instance instead.
+func (c *Cluster) SetWorkers(w int) {
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > len(c.Nodes) {
+		w = len(c.Nodes)
+	}
+	if c.pool != nil {
+		c.pool.close()
+		c.pool = nil
+	}
+	c.workers = 1
+	if w > 1 {
+		c.workers = w
+		c.pool = newShardPool(w, len(c.Nodes))
+	}
+}
+
+// Workers returns the configured worker count (1 when stepping
+// serially).
+func (c *Cluster) Workers() int { return c.workers }
+
+// Close releases the worker pool's goroutines, if any. The cluster
+// remains usable afterwards (it falls back to serial stepping).
+func (c *Cluster) Close() {
+	if c.pool != nil {
+		c.pool.close()
+		c.pool = nil
+		c.workers = 1
+	}
+}
+
+// advanceNodes runs job(i) for every node index: on the worker pool
+// when one is configured, serially otherwise. It is the only entry
+// point to the parallel phase; everything after it in a step is
+// single-threaded.
+func (c *Cluster) advanceNodes(job func(node int)) {
+	if c.pool == nil {
+		for i := range c.Nodes {
+			job(i)
+		}
+		return
+	}
+	c.pool.dispatch(job)
+}

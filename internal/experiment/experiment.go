@@ -30,6 +30,13 @@ import (
 // of the harness reproduces identical numbers.
 const Seed = 20100131 // ICPP 2010 submission era
 
+// Workers is the worker-goroutine count applied to every cluster the
+// experiments build (see cluster.SetWorkers). It is configuration, set
+// once before any experiment runs (cmd/experiments wires its -workers
+// flag here); parallel stepping is byte-identical to serial, so the
+// value changes wall-clock time only, never a result.
+var Workers = 1
+
 // probe records per-node observables on a fixed schedule.
 type probe struct {
 	c     *cluster.Cluster
@@ -182,6 +189,7 @@ func newCluster(nodes int, seed uint64) (*cluster.Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.SetWorkers(Workers)
 	c.Settle(0)
 	return c, nil
 }

@@ -190,6 +190,7 @@ func Scaling(seed uint64) (*ScalingResult, error) {
 		if err != nil {
 			return nil, err
 		}
+		c.SetWorkers(Workers)
 		c.Settle(0)
 		hybrids, err := attachHybrid(c, 50, 30, core.DefaultTDVFSConfig(50))
 		if err != nil {

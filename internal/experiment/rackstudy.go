@@ -9,10 +9,14 @@ import (
 	"thermctl/internal/core"
 	"thermctl/internal/node"
 	"thermctl/internal/rack"
+	"thermctl/internal/rng"
 	"thermctl/internal/workload"
 )
 
-// RackRow is one slot's outcome in the rack study.
+// RackRow is one slot's outcome in the rack study. FanDuty is the duty
+// averaged over the run: the instantaneous duty dithers with sensor
+// noise, but the time average robustly shows which slot's fan worked
+// harder.
 type RackRow struct {
 	Slot    int
 	InletC  float64
@@ -51,7 +55,10 @@ func RackStudy(seed uint64) (*RackStudyResult, error) {
 func rackRun(seed uint64, unified bool) ([]RackRow, error) {
 	var nodes []*node.Node
 	for i := 0; i < 4; i++ {
-		n, err := node.New(node.DefaultConfig(fmt.Sprintf("slot%d", i), seed+uint64(i)*101))
+		// Per-slot seeds are mixed, not offset: an additive stride would
+		// hand two studies whose seeds differ by a multiple of it the
+		// same node noise streams.
+		n, err := node.New(node.DefaultConfig(fmt.Sprintf("slot%d", i), rng.Mix(seed, uint64(i))))
 		if err != nil {
 			return nil, err
 		}
@@ -61,6 +68,7 @@ func rackRun(seed uint64, unified bool) ([]RackRow, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.SetWorkers(Workers)
 	c.Settle(1)
 	r, err := rack.New(rack.Default(), nodes)
 	if err != nil {
@@ -93,6 +101,16 @@ func rackRun(seed uint64, unified bool) ([]RackRow, error) {
 			}
 		}
 	}
+	// Average each slot's duty over the run: the per-step duty dithers
+	// with sensor noise around the controller's operating point.
+	dutySum := make([]float64, len(nodes))
+	steps := 0
+	c.AddController(cluster.ControllerFunc(func(time.Duration) {
+		for i, n := range nodes {
+			dutySum[i] += n.Fan.Duty()
+		}
+		steps++
+	}))
 	c.RunGenerator(workload.Constant(1), 10*time.Minute)
 
 	rows := make([]RackRow, len(nodes))
@@ -101,7 +119,7 @@ func rackRun(seed uint64, unified bool) ([]RackRow, error) {
 			Slot:    i,
 			InletC:  r.InletC(i),
 			DieC:    n.TrueDieC(),
-			FanDuty: n.Fan.Duty(),
+			FanDuty: dutySum[i] / float64(steps),
 			FreqGHz: n.CPU.FreqGHz(),
 		}
 	}

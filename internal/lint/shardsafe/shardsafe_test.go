@@ -1,0 +1,44 @@
+package shardsafe_test
+
+import (
+	"testing"
+
+	"thermctl/internal/lint/linttest"
+	"thermctl/internal/lint/shardsafe"
+)
+
+func TestShardsafe(t *testing.T) {
+	linttest.Run(t, "testdata/ss", shardsafe.Analyzer)
+}
+
+func TestScope(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"thermctl/internal/node", true},
+		{"thermctl/internal/cpu", true},
+		{"thermctl/internal/thermal", true},
+		{"thermctl/internal/fan", true},
+		{"thermctl/internal/sensor", true},
+		{"thermctl/internal/adt7467", true},
+		{"thermctl/internal/hwmon", true},
+		{"thermctl/internal/cluster", true},
+		{"thermctl/internal/rack", true},
+		{"thermctl/internal/workload", true},
+		// Serial-phase controllers and offline tooling may keep state.
+		{"thermctl/internal/core", false},
+		{"thermctl/internal/baseline", false},
+		{"thermctl/internal/experiment", false},
+		{"thermctl/internal/ipmi", false},
+		{"thermctl/internal/trace", false},
+		{"thermctl/internal/lint", false},
+		{"thermctl/cmd/experiments", false},
+		{"thermctl", false},
+	}
+	for _, c := range cases {
+		if got := shardsafe.Analyzer.AppliesTo(c.path); got != c.want {
+			t.Errorf("AppliesTo(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+// Package ss exercises the shardsafe analyzer: runtime writes to
+// package-level variables are flagged; effectively-immutable globals
+// (error sentinels, init-time tables) pass.
+package ss
+
+import (
+	"errors"
+	"sync"
+)
+
+// Error sentinels: declared once, only read afterwards — the idiom the
+// model packages legitimately use. No diagnostics.
+var ErrBad = errors.New("ss: bad")
+
+// table is written only at declaration and from init; immutable once
+// workers exist.
+var table = map[string]int{"a": 1}
+
+// counter, cache, registry and mu are runtime-mutable package state.
+var (
+	counter  int
+	cache    = map[string]float64{}
+	registry []string
+	mu       sync.Mutex
+	hook     func()
+)
+
+func init() {
+	table["b"] = 2 // init runs before any worker: exempt
+	counter = 0    // exempt here, flagged at runtime below
+}
+
+// Step stands in for model code running in the parallel phase.
+func Step(name string) float64 {
+	counter++                         // want `package-level variable counter written at runtime`
+	cache[name] = 1.5                 // want `package-level variable cache written at runtime`
+	registry = append(registry, name) // want `package-level variable registry written at runtime`
+	mu.Lock()                         // want `pointer-receiver call mu.Lock mutates package-level variable mu`
+	defer mu.Unlock()                 // want `pointer-receiver call mu.Unlock mutates package-level variable mu`
+	p := &counter                     // want `package-level variable counter has its address taken`
+	*p = 3
+	if err := ErrBad; err != nil { // reading a sentinel is fine
+		return float64(table["a"]) // reading an init-time table is fine
+	}
+	return cache[name]
+}
+
+// closure assignment inside init still produces runtime code.
+func init() {
+	hook = func() {
+		counter++ // want `package-level variable counter written at runtime`
+	}
+}
+
+// localShadow must not be confused with the global of the same name.
+func localShadow() {
+	counter := 0
+	counter++
+	var mu sync.Mutex
+	mu.Lock()
+	_ = counter
+}
+
+// fieldWrite mutates a package-level struct through a field; the root
+// variable is the target.
+type box struct{ v int }
+
+var shared box
+
+func fieldWrite() {
+	shared.v = 9 // want `package-level variable shared written at runtime`
+}
+
+// methodValue calls a value-receiver method: no mutation, no report.
+type ro struct{ v int }
+
+func (r ro) Get() int { return r.v }
+
+var readonly ro
+
+func methodValue() int { return readonly.Get() }
+
+// allowed demonstrates the escape hatch.
+func allowed() {
+	//thermlint:allow shardsafe -- test fixture: suppression must work
+	counter++
+}

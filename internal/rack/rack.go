@@ -73,6 +73,16 @@ func New(cfg Config, nodes []*node.Node) (*Rack, error) {
 	if cfg.RecircFrac < 0 || cfg.RecircFrac >= 1 {
 		return nil, fmt.Errorf("rack: recirculation fraction %v outside [0,1)", cfg.RecircFrac)
 	}
+	if cfg.ExhaustKPerW < 0 {
+		return nil, fmt.Errorf("rack: exhaust rise %v K/W is negative", cfg.ExhaustKPerW)
+	}
+	if cfg.MixTimeConst <= 0 {
+		// A non-positive time constant corrupts the first-order inlet
+		// lag: τ<0 flips the exponential into runaway gain, and τ=0 is
+		// almost always an uninitialized Config rather than a deliberate
+		// request for instantaneous mixing.
+		return nil, fmt.Errorf("rack: mixing time constant %v is not positive", cfg.MixTimeConst)
+	}
 	r := &Rack{cfg: cfg, nodes: nodes, inletC: make([]float64, len(nodes))}
 	targets := r.targets()
 	copy(r.inletC, targets)

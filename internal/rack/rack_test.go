@@ -28,10 +28,23 @@ func TestNewValidates(t *testing.T) {
 	if _, err := New(Default(), nil); err == nil {
 		t.Error("empty rack accepted")
 	}
-	bad := Default()
-	bad.RecircFrac = 1.0
-	if _, err := New(bad, newNodes(t, 1)); err == nil {
-		t.Error("recirc fraction 1.0 accepted")
+	nodes := newNodes(t, 1)
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"recirc fraction 1.0", func(c *Config) { c.RecircFrac = 1.0 }},
+		{"negative recirc fraction", func(c *Config) { c.RecircFrac = -0.1 }},
+		{"negative exhaust rise", func(c *Config) { c.ExhaustKPerW = -0.06 }},
+		{"zero mixing time constant", func(c *Config) { c.MixTimeConst = 0 }},
+		{"negative mixing time constant", func(c *Config) { c.MixTimeConst = -time.Second }},
+	}
+	for _, tc := range cases {
+		bad := Default()
+		tc.mutate(&bad)
+		if _, err := New(bad, nodes); err == nil {
+			t.Errorf("%s accepted", tc.name)
+		}
 	}
 }
 

@@ -32,6 +32,18 @@ func (s *Source) Split() *Source {
 	return &Source{state: s.Uint64() ^ 0x9e3779b97f4a7c15}
 }
 
+// Mix derives the seed of stream number `stream` of a family keyed by
+// seed, by running the SplitMix64 finalizer over the pair. Unlike an
+// additive offset (seed + stream·stride), the derived seeds avalanche
+// in both arguments: families with different master seeds never share
+// a stream seed unless a full 64-bit mix collides (probability ~2⁻⁶⁴),
+// whereas seed+stream·stride collides whenever two master seeds differ
+// by a multiple of the stride.
+func Mix(seed, stream uint64) uint64 {
+	s := Source{state: seed + stream*0x9e3779b97f4a7c15}
+	return s.Uint64()
+}
+
 // Uint64 returns the next 64 uniformly distributed bits.
 func (s *Source) Uint64() uint64 {
 	s.state += 0x9e3779b97f4a7c15

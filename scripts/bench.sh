@@ -1,0 +1,30 @@
+#!/bin/sh
+# bench.sh runs the cluster scale benchmark suite and refreshes
+# BENCH_cluster.json, the repository's performance trajectory file.
+#
+# Usage:
+#
+#	./scripts/bench.sh            # full run (default -benchtime)
+#	BENCHTIME=1x ./scripts/bench.sh   # one iteration per benchmark (CI smoke)
+#	OUT=/dev/stdout ./scripts/bench.sh
+#
+# The suite is BenchmarkClusterStep / BenchmarkClusterStepRack /
+# BenchmarkClusterRunProgram in internal/cluster: 4/64/256 nodes crossed
+# with 1/4/GOMAXPROCS workers. Parallel stepping is byte-identical to
+# serial, so the sweep measures wall-clock only; the JSON's "speedups"
+# section reports serial-over-parallel per (benchmark, nodes) group.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1s}"
+OUT="${OUT:-BENCH_cluster.json}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+echo "==> go test -bench BenchmarkCluster -benchtime $BENCHTIME ./internal/cluster" >&2
+go test -run '^$' -bench 'BenchmarkCluster(Step|StepRack|RunProgram)$' \
+	-benchtime "$BENCHTIME" -count 1 ./internal/cluster | tee "$tmp" >&2
+
+go run ./cmd/benchjson <"$tmp" >"$OUT"
+echo "==> wrote $OUT" >&2

@@ -1,6 +1,6 @@
 # Verification targets mirror .github/workflows/ci.yml.
 
-.PHONY: all build test race lint check bench
+.PHONY: all build test race lint check bench coverage
 
 all: check
 
@@ -28,3 +28,8 @@ check:
 # suite (BENCHTIME=1x for a smoke run).
 bench:
 	./scripts/bench.sh
+
+# coverage measures total statement coverage and enforces the floor
+# (FLOOR=0 to measure only). Leaves coverage.out for `go tool cover`.
+coverage:
+	./scripts/coverage.sh

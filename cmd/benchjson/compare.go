@@ -1,0 +1,118 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// compareMain implements `benchjson -compare old.json new.json
+// [-tolerance pct]`: it loads two benchmark-trajectory documents and
+// exits non-zero when any benchmark present in both regressed in ns/op
+// by more than the tolerance. Benchmarks present in only one document
+// are reported informationally and never fail the comparison — the
+// suite is allowed to grow and shrink.
+func compareMain(args []string) {
+	tolerance := 25.0
+	var files []string
+	for i := 0; i < len(args); i++ {
+		// Accept -tolerance interleaved with the file operands, so both
+		// `-compare -tolerance 25 old new` and `-compare old new
+		// -tolerance 25` work.
+		if args[i] == "-tolerance" || args[i] == "--tolerance" {
+			if i+1 >= len(args) {
+				fatalf("-tolerance needs a value")
+			}
+			v, err := strconv.ParseFloat(args[i+1], 64)
+			if err != nil || v < 0 {
+				fatalf("-tolerance %q: want a non-negative percentage", args[i+1])
+			}
+			tolerance = v
+			i++
+			continue
+		}
+		files = append(files, args[i])
+	}
+	if len(files) != 2 {
+		fatalf("-compare wants exactly two files (old.json new.json), got %d", len(files))
+	}
+	oldRep, err := loadReport(files[0])
+	if err != nil {
+		fatalf("%v", err)
+	}
+	newRep, err := loadReport(files[1])
+	if err != nil {
+		fatalf("%v", err)
+	}
+	regressions := compare(oldRep, newRep, tolerance, os.Stdout)
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed beyond %.0f%%\n",
+			regressions, tolerance)
+		os.Exit(1)
+	}
+}
+
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Results) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark results", path)
+	}
+	return &rep, nil
+}
+
+// compare prints a per-benchmark delta table and returns how many
+// benchmarks regressed beyond tolerancePct. Under GitHub Actions each
+// regression additionally emits a ::warning:: annotation so it surfaces
+// on the workflow summary even when the step is configured warn-only.
+func compare(oldRep, newRep *Report, tolerancePct float64, out io.Writer) int {
+	oldByName := map[string]Result{}
+	for _, r := range oldRep.Results {
+		oldByName[r.Name] = r
+	}
+	newNames := map[string]bool{}
+	regressions := 0
+	fmt.Fprintf(out, "%-55s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, nr := range newRep.Results {
+		newNames[nr.Name] = true
+		or, ok := oldByName[nr.Name]
+		if !ok {
+			fmt.Fprintf(out, "%-55s %14s %14.0f %9s\n", nr.Name, "-", nr.NsPerOp, "new")
+			continue
+		}
+		if or.NsPerOp <= 0 {
+			continue
+		}
+		deltaPct := (nr.NsPerOp - or.NsPerOp) / or.NsPerOp * 100
+		mark := ""
+		if deltaPct > tolerancePct {
+			mark = "  REGRESSION"
+			regressions++
+			if os.Getenv("GITHUB_ACTIONS") == "true" {
+				fmt.Fprintf(out, "::warning::benchmark %s regressed %.1f%% (%.0f → %.0f ns/op, tolerance %.0f%%)\n",
+					nr.Name, deltaPct, or.NsPerOp, nr.NsPerOp, tolerancePct)
+			}
+		}
+		fmt.Fprintf(out, "%-55s %14.0f %14.0f %+8.1f%%%s\n",
+			nr.Name, or.NsPerOp, nr.NsPerOp, deltaPct, mark)
+	}
+	for _, or := range oldRep.Results {
+		if !newNames[or.Name] {
+			fmt.Fprintf(out, "%-55s %14.0f %14s %9s\n", or.Name, or.NsPerOp, "-", "gone")
+		}
+	}
+	return regressions
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchjson: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func rep(results ...Result) *Report {
+	return &Report{Suite: "cluster-step", Results: results}
+}
+
+func TestCompareFlagsRegression(t *testing.T) {
+	oldRep := rep(
+		Result{Name: "BenchmarkClusterStep/nodes=64/workers=4-8", NsPerOp: 1000},
+		Result{Name: "BenchmarkClusterStep/nodes=64/workers=1-8", NsPerOp: 4000},
+	)
+	newRep := rep(
+		// 60% slower: beyond a 25% tolerance.
+		Result{Name: "BenchmarkClusterStep/nodes=64/workers=4-8", NsPerOp: 1600},
+		// 5% slower: within tolerance.
+		Result{Name: "BenchmarkClusterStep/nodes=64/workers=1-8", NsPerOp: 4200},
+	)
+	var out bytes.Buffer
+	if got := compare(oldRep, newRep, 25, &out); got != 1 {
+		t.Fatalf("regressions = %d, want 1\noutput:\n%s", got, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("output missing REGRESSION marker:\n%s", out.String())
+	}
+}
+
+func TestCompareWithinTolerance(t *testing.T) {
+	oldRep := rep(Result{Name: "B/a", NsPerOp: 1000})
+	newRep := rep(Result{Name: "B/a", NsPerOp: 1200})
+	var out bytes.Buffer
+	if got := compare(oldRep, newRep, 25, &out); got != 0 {
+		t.Fatalf("regressions = %d, want 0 at 20%% delta / 25%% tolerance", got)
+	}
+	// The same delta fails a tighter tolerance.
+	if got := compare(oldRep, newRep, 10, &out); got != 1 {
+		t.Fatalf("regressions = %d, want 1 at 20%% delta / 10%% tolerance", got)
+	}
+}
+
+func TestCompareImprovementNeverFails(t *testing.T) {
+	oldRep := rep(Result{Name: "B/a", NsPerOp: 2000})
+	newRep := rep(Result{Name: "B/a", NsPerOp: 10})
+	var out bytes.Buffer
+	if got := compare(oldRep, newRep, 0, &out); got != 0 {
+		t.Fatalf("regressions = %d for a speedup, want 0", got)
+	}
+}
+
+func TestCompareNewAndGoneAreInformational(t *testing.T) {
+	oldRep := rep(
+		Result{Name: "B/stays", NsPerOp: 100},
+		Result{Name: "B/removed", NsPerOp: 100},
+	)
+	newRep := rep(
+		Result{Name: "B/stays", NsPerOp: 100},
+		Result{Name: "B/added", NsPerOp: 9e9},
+	)
+	var out bytes.Buffer
+	if got := compare(oldRep, newRep, 25, &out); got != 0 {
+		t.Fatalf("regressions = %d, want 0 (membership changes are informational)", got)
+	}
+	for _, want := range []string{"new", "gone"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q marker:\n%s", want, out.String())
+		}
+	}
+}

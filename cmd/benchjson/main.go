@@ -11,6 +11,15 @@
 //	go test -run '^$' -bench BenchmarkClusterStep ./internal/cluster | go run ./cmd/benchjson > BENCH_cluster.json
 //
 // scripts/bench.sh (make bench) wraps exactly that pipeline.
+//
+// With -compare, benchjson instead diffs two of those documents and
+// exits non-zero when any benchmark present in both regressed in ns/op
+// by more than the tolerance percentage (default 25):
+//
+//	benchjson -compare old.json new.json -tolerance 25
+//
+// CI uses this to gate pull requests against the committed
+// BENCH_cluster.json trajectory.
 package main
 
 import (
@@ -62,6 +71,10 @@ type Report struct {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "-compare" {
+		compareMain(os.Args[2:])
+		return
+	}
 	rep, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)

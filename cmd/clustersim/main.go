@@ -7,7 +7,12 @@
 //
 //	clustersim [-nodes 4] [-program bt|lu] [-fan dynamic|static|constant|auto]
 //	           [-dvfs none|tdvfs|cpuspeed] [-pp 50] [-max-duty 50] [-seed N]
-//	           [-workers GOMAXPROCS]
+//	           [-workers GOMAXPROCS] [-listen 127.0.0.1:9090]
+//
+// With -listen, the run serves Prometheus-text metrics on /metrics
+// (cluster step latency, per-worker shard timing, barrier wait, and
+// per-node controller series labeled node="...") plus the standard
+// pprof endpoints under /debug/pprof/.
 package main
 
 import (
@@ -19,6 +24,7 @@ import (
 	"thermctl/internal/baseline"
 	"thermctl/internal/cluster"
 	"thermctl/internal/core"
+	"thermctl/internal/metrics"
 	"thermctl/internal/workload"
 )
 
@@ -32,6 +38,7 @@ type options struct {
 	pp        int
 	maxDuty   float64
 	workers   int
+	listen    string
 }
 
 // validate rejects out-of-range or unknown values with an error naming
@@ -80,6 +87,7 @@ func main() {
 	seed := flag.Uint64("seed", 20100131, "simulation seed")
 	flag.IntVar(&o.workers, "workers", runtime.GOMAXPROCS(0),
 		"worker goroutines stepping the nodes (results are identical for any value)")
+	flag.StringVar(&o.listen, "listen", "", "optional HTTP address for /metrics and /debug/pprof")
 	flag.Parse()
 	if err := o.validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "clustersim:", err)
@@ -93,6 +101,15 @@ func main() {
 	}
 	c.SetWorkers(o.workers)
 	c.Settle(0)
+
+	// Wiring-time metric registration: the registry exists only when a
+	// scrape endpoint was requested, and every instrumentation call
+	// happens before the first step.
+	var reg *metrics.Registry
+	if o.listen != "" {
+		reg = metrics.NewRegistry()
+		c.InstrumentMetrics(reg)
+	}
 
 	// Per-node controllers, exactly as daemons run per machine.
 	for _, n := range c.Nodes {
@@ -131,9 +148,16 @@ func main() {
 				fatal(err)
 			}
 			if fanCtl != nil {
-				c.AddController(core.NewHybrid(fanCtl, d))
+				h := core.NewHybrid(fanCtl, d)
+				if reg != nil {
+					h.InstrumentMetrics(reg, metrics.L("node", n.Name))
+				}
+				c.AddController(h)
 				fanCtl = nil
 			} else {
+				if reg != nil {
+					d.InstrumentMetrics(reg, metrics.L("node", n.Name))
+				}
 				c.AddController(d)
 			}
 		case "cpuspeed":
@@ -145,8 +169,20 @@ func main() {
 		case "none":
 		}
 		if fanCtl != nil {
+			if reg != nil {
+				fanCtl.InstrumentMetrics(reg, metrics.L("node", n.Name))
+			}
 			c.AddController(fanCtl)
 		}
+	}
+
+	if o.listen != "" {
+		srv, err := metrics.Serve(o.listen, reg)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("clustersim: metrics and pprof on http://%s/metrics\n", srv.Addr())
 	}
 
 	var prog workload.Program

@@ -26,7 +26,7 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "comma-separated subset: fig2,fig5,fig6,fig7,fig8,fig9,table1,fig10,fanfailure,scaling,rack,workloads,ablation")
+	only := flag.String("only", "", "comma-separated subset: fig2,fig5,fig6,fig7,fig8,fig9,table1,fig10,fanfailure,scaling,rack,workloads,ablation,metrics")
 	seed := flag.Uint64("seed", experiment.Seed, "simulation seed")
 	csvDir := flag.String("csv", "", "directory to write per-figure CSV series into")
 	markdown := flag.Bool("markdown", false, "emit the full generated reproduction report as markdown and exit")
@@ -189,6 +189,16 @@ func main() {
 			series[fmt.Sprintf("freq_pp%d", row.Pp)] = row.Freq
 		}
 		writeSeries(*csvDir, "fig10.csv", series)
+	}
+	if run("metrics") {
+		samples, err := report.CollectMetrics(*seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("observability metrics (10-minute instrumented unified-control run):")
+		for _, s := range samples {
+			fmt.Printf("  %-45s %g\n", s.Name, s.Value)
+		}
 	}
 }
 

@@ -7,6 +7,7 @@
 //
 //	thermctld [-pp 50] [-max-duty 50] [-duration 10m]
 //	          [-ipmi 127.0.0.1:9623] [-seed 1] [-config thermctl.json]
+//	          [-listen 127.0.0.1:9090]
 //
 // A JSON config file (see internal/config) overrides the flag defaults:
 //
@@ -17,11 +18,17 @@
 //
 //	c, _ := ipmi.Dial("127.0.0.1:9623")
 //	t, _ := ipmi.NewClient(c).ReadSensor(1) // CPU temperature
+//
+// With -listen, the daemon serves Prometheus-text metrics on /metrics
+// and the standard pprof profiling endpoints under /debug/pprof/:
+//
+//	curl http://127.0.0.1:9090/metrics
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -29,37 +36,72 @@ import (
 	"thermctl/internal/config"
 	"thermctl/internal/core"
 	"thermctl/internal/ipmi"
+	"thermctl/internal/metrics"
 )
 
+// options holds the parsed command line plus the test hooks, so the
+// daemon loop is runnable (and stoppable) from a test without flag
+// registration or os.Exit.
+type options struct {
+	pp       int
+	maxDuty  float64
+	duration time.Duration
+	ipmiAddr string
+	listen   string
+	seed     uint64
+	every    time.Duration
+	verbose  bool
+	pace     float64
+	cfgPath  string
+
+	// stop, when non-nil, ends the run early from another goroutine.
+	stop <-chan struct{}
+	// onListen, when non-nil, receives the bound metrics address once
+	// the HTTP server is up (tests listen on :0 and need the port).
+	onListen func(addr string)
+}
+
 func main() {
-	pp := flag.Int("pp", 50, "policy parameter Pp in [1,100] for both knobs")
-	maxDuty := flag.Float64("max-duty", 50, "maximum PWM duty, percent")
-	duration := flag.Duration("duration", 10*time.Minute, "simulated run time")
-	ipmiAddr := flag.String("ipmi", "", "optional TCP address to serve the node's BMC on")
-	seed := flag.Uint64("seed", 1, "simulation seed")
-	every := flag.Duration("report", 15*time.Second, "reporting interval")
-	verbose := flag.Bool("verbose", false, "print the controller's internal status with each report")
-	pace := flag.Float64("pace", 0, "simulated seconds per wall second (0 = run flat out); use e.g. 10 when driving the BMC interactively with ipmitool")
-	cfgPath := flag.String("config", "", "JSON configuration file; overrides -pp/-max-duty")
+	var o options
+	flag.IntVar(&o.pp, "pp", 50, "policy parameter Pp in [1,100] for both knobs")
+	flag.Float64Var(&o.maxDuty, "max-duty", 50, "maximum PWM duty, percent")
+	flag.DurationVar(&o.duration, "duration", 10*time.Minute, "simulated run time")
+	flag.StringVar(&o.ipmiAddr, "ipmi", "", "optional TCP address to serve the node's BMC on")
+	flag.StringVar(&o.listen, "listen", "", "optional HTTP address for /metrics and /debug/pprof")
+	flag.Uint64Var(&o.seed, "seed", 1, "simulation seed")
+	flag.DurationVar(&o.every, "report", 15*time.Second, "reporting interval")
+	flag.BoolVar(&o.verbose, "verbose", false, "print the controller's internal status with each report")
+	flag.Float64Var(&o.pace, "pace", 0, "simulated seconds per wall second (0 = run flat out); use e.g. 10 when driving the BMC interactively with ipmitool")
+	flag.StringVar(&o.cfgPath, "config", "", "JSON configuration file; overrides -pp/-max-duty")
 	flag.Parse()
 
+	if err := run(o, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "thermctld:", err)
+		os.Exit(1)
+	}
+}
+
+// run assembles the simulated stack and executes the control loop. All
+// metric registration happens here, before the first step — the
+// metricsafe analyzer holds the module to that split.
+func run(o options, out io.Writer) error {
 	cfg := config.Default()
-	cfg.Pp = *pp
-	cfg.MaxFanDuty = *maxDuty
-	if *cfgPath != "" {
-		loaded, err := config.Load(*cfgPath)
+	cfg.Pp = o.pp
+	cfg.MaxFanDuty = o.maxDuty
+	if o.cfgPath != "" {
+		loaded, err := config.Load(o.cfgPath)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		cfg = loaded
 	}
 	if err := cfg.Validate(); err != nil {
-		fatal(err)
+		return err
 	}
 
-	n, err := thermctl.NewNode("thermctld", *seed)
+	n, err := thermctl.NewNode("thermctld", o.seed)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	n.Settle(0)
 
@@ -68,60 +110,91 @@ func main() {
 		core.ActuatorBinding{Actuator: core.NewFanActuator(
 			&core.SysfsFanPort{FS: n.FS, Chip: n.Hwmon}, cfg.MaxFanDuty)})
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	act, err := core.NewDVFSActuator(&core.SysfsFreqPort{FS: n.FS, Paths: n.Cpufreq})
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	dvfs, err := core.NewTDVFS(cfg.TDVFSConfig(), read, act)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	u := core.NewHybrid(fan, dvfs)
 
-	if *ipmiAddr != "" {
-		srv, err := ipmi.ListenAndServe(*ipmiAddr, n.BMC)
+	// Wire the whole stack to one registry: controller, device models,
+	// BMC, and the daemon's own loop timing.
+	reg := metrics.NewRegistry()
+	u.InstrumentMetrics(reg)
+	n.Fan.InstrumentMetrics(reg)
+	n.Chip.InstrumentMetrics(reg)
+	n.BMC.InstrumentMetrics(reg)
+	stepSeconds := reg.NewHistogram("thermctl_daemon_step_seconds",
+		"wall-clock latency of one daemon control-loop step", nil)
+	steps := reg.NewCounter("thermctl_daemon_steps_total",
+		"daemon control-loop steps executed")
+
+	if o.listen != "" {
+		srv, err := metrics.Serve(o.listen, reg)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer srv.Close()
-		fmt.Printf("thermctld: BMC serving IPMI on %s\n", srv.Addr())
+		fmt.Fprintf(out, "thermctld: metrics and pprof on http://%s/metrics\n", srv.Addr())
+		if o.onListen != nil {
+			o.onListen(srv.Addr())
+		}
 	}
 
-	n.SetGenerator(thermctl.CPUBurn(*seed + 1))
-	fmt.Printf("thermctld: unified control, Pp=%d, max duty %.0f%%, threshold %.0f degC, %s\n",
-		cfg.Pp, cfg.MaxFanDuty, cfg.ThresholdC, *duration)
-	fmt.Printf("%8s %10s %8s %9s %8s %10s\n",
+	if o.ipmiAddr != "" {
+		srv, err := ipmi.ListenAndServe(o.ipmiAddr, n.BMC)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(out, "thermctld: BMC serving IPMI on %s\n", srv.Addr())
+	}
+
+	n.SetGenerator(thermctl.CPUBurn(o.seed + 1))
+	fmt.Fprintf(out, "thermctld: unified control, Pp=%d, max duty %.0f%%, threshold %.0f degC, %s\n",
+		cfg.Pp, cfg.MaxFanDuty, cfg.ThresholdC, o.duration)
+	fmt.Fprintf(out, "%8s %10s %8s %9s %8s %10s\n",
 		"time", "temp degC", "duty %", "freq GHz", "dvfs", "power W")
 
 	dt := 250 * time.Millisecond
 	next := time.Duration(0)
-	for n.Elapsed() < *duration {
-		if *pace > 0 {
-			time.Sleep(time.Duration(float64(dt) / *pace))
+	for n.Elapsed() < o.duration {
+		if o.stop != nil {
+			select {
+			case <-o.stop:
+				fmt.Fprintf(out, "\nstopped at %s\n", n.Elapsed().Truncate(time.Second))
+				return nil
+			default:
+			}
 		}
+		if o.pace > 0 {
+			time.Sleep(time.Duration(float64(dt) / o.pace))
+		}
+		begin := metrics.Now()
 		n.Step(dt)
 		u.OnStep(n.Elapsed())
+		stepSeconds.ObserveSince(begin)
+		steps.Inc()
 		if n.Elapsed() >= next {
-			next += *every
+			next += o.every
 			engaged := "idle"
 			if u.DVFS.Engaged() {
 				engaged = "engaged"
 			}
-			fmt.Printf("%8s %10.2f %8.1f %9.1f %8s %10.1f\n",
+			fmt.Fprintf(out, "%8s %10.2f %8.1f %9.1f %8s %10.1f\n",
 				n.Elapsed().Truncate(time.Second), n.Sensor.Read(), n.Fan.Duty(),
 				n.CPU.FreqGHz(), engaged, n.Power().Total())
-			if *verbose {
-				fmt.Printf("          %s\n", fan.Status())
+			if o.verbose {
+				fmt.Fprintf(out, "          %s\n", fan.Status())
 			}
 		}
 	}
-	fmt.Printf("\nfinal: die %.2f degC, duty %.1f%%, %.1f GHz; avg power %.2f W; %d freq transitions\n",
+	fmt.Fprintf(out, "\nfinal: die %.2f degC, duty %.1f%%, %.1f GHz; avg power %.2f W; %d freq transitions\n",
 		n.TrueDieC(), n.Fan.Duty(), n.CPU.FreqGHz(), n.Meter.AverageW(), n.CPU.Transitions())
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "thermctld:", err)
-	os.Exit(1)
+	return nil
 }

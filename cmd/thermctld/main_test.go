@@ -1,0 +1,148 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// scrape fetches the /metrics endpoint and returns the body.
+func scrape(t *testing.T, addr string) string {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scrape: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("scrape: content type %q, want text/plain exposition", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	return string(body)
+}
+
+// sampleValue extracts the value of an unlabeled sample line
+// ("name 42") from an exposition body.
+func sampleValue(t *testing.T, body, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[0] == name {
+			v, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				t.Fatalf("sample %s: bad value %q", name, fields[1])
+			}
+			return v
+		}
+	}
+	t.Fatalf("sample %q not found in scrape", name)
+	return 0
+}
+
+// TestDaemonServesMetrics starts the daemon on the simulated stack with
+// -listen, scrapes /metrics while it runs, and checks that the core
+// series are present and monotone between scrapes.
+func TestDaemonServesMetrics(t *testing.T) {
+	stop := make(chan struct{})
+	addrCh := make(chan string, 1)
+	done := make(chan error, 1)
+	o := options{
+		pp:      50,
+		maxDuty: 30, // weak cap: mode transitions happen quickly
+		// Effectively unbounded: the stop channel, not the simulated
+		// duration, ends this run (the loop covers hours of simulated
+		// time per wall second).
+		duration: 100000 * time.Hour,
+		listen:   "127.0.0.1:0",
+		seed:     1,
+		every:    time.Hour,
+		stop:     stop,
+		onListen: func(a string) { addrCh <- a },
+	}
+	var out bytes.Buffer
+	go func() { done <- run(o, &out) }()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case err := <-done:
+		t.Fatalf("daemon exited before listening: %v (output: %s)", err, out.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not start listening within 10s")
+	}
+	defer func() {
+		close(stop)
+		if err := <-done; err != nil {
+			t.Errorf("run: %v", err)
+		}
+	}()
+
+	first := scrape(t, addr)
+	for _, want := range []string{
+		"# TYPE thermctl_controller_mode_transitions_total counter",
+		"# TYPE thermctl_daemon_step_seconds histogram",
+		"thermctl_daemon_step_seconds_bucket{le=\"+Inf\"}",
+		"thermctl_controller_rounds_total",
+		"thermctl_tdvfs_rounds_total",
+		"thermctl_fan_duty_transitions_total",
+		"thermctl_adt7467_register_writes_total",
+		"thermctl_daemon_steps_total",
+	} {
+		if !strings.Contains(first, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+
+	// The loop runs flat out, so a short wall wait advances it by many
+	// steps; the counters must be monotone non-decreasing and the step
+	// counter strictly increasing.
+	steps1 := sampleValue(t, first, "thermctl_daemon_steps_total")
+	rounds1 := sampleValue(t, first, "thermctl_controller_rounds_total")
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		second := scrape(t, addr)
+		steps2 := sampleValue(t, second, "thermctl_daemon_steps_total")
+		rounds2 := sampleValue(t, second, "thermctl_controller_rounds_total")
+		if steps2 < steps1 || rounds2 < rounds1 {
+			t.Fatalf("counters went backwards: steps %v→%v, rounds %v→%v",
+				steps1, steps2, rounds1, rounds2)
+		}
+		if steps2 > steps1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("step counter did not advance within 10s")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRunRejectsBadConfig exercises the error path without os.Exit.
+func TestRunRejectsBadConfig(t *testing.T) {
+	o := options{pp: 0, maxDuty: 50, duration: time.Second}
+	if err := run(o, io.Discard); err == nil {
+		t.Fatal("pp=0 accepted")
+	}
+}
+
+// TestRunCompletes runs a short daemon lifetime end-to-end, without a
+// listener, and checks the final report is written.
+func TestRunCompletes(t *testing.T) {
+	var out bytes.Buffer
+	o := options{pp: 50, maxDuty: 50, duration: 30 * time.Second, seed: 1, every: time.Minute}
+	if err := run(o, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "final: die") {
+		t.Errorf("missing final report in output:\n%s", out.String())
+	}
+}

@@ -1,5 +1,5 @@
 // Command thermlint is the repository's domain-aware static-analysis
-// gate. It runs five analyzers over the module:
+// gate. It runs six analyzers over the module:
 //
 //	determinism   — no wall-clock, global math/rand or map-ordered
 //	                effects inside the simulation core
@@ -10,6 +10,8 @@
 //	                mutex
 //	shardsafe     — no runtime-mutable package-level state in the
 //	                node-model packages stepped in parallel
+//	metricsafe    — no metric registration in Step-reachable code;
+//	                register at wiring time, update on the hot path
 //
 // Usage:
 //
@@ -32,6 +34,7 @@ import (
 	"thermctl/internal/lint"
 	"thermctl/internal/lint/actuatorerr"
 	"thermctl/internal/lint/determinism"
+	"thermctl/internal/lint/metricsafe"
 	"thermctl/internal/lint/mutexcallback"
 	"thermctl/internal/lint/onstepblock"
 	"thermctl/internal/lint/shardsafe"
@@ -40,6 +43,7 @@ import (
 var allAnalyzers = []*lint.Analyzer{
 	actuatorerr.Analyzer,
 	determinism.Analyzer,
+	metricsafe.Analyzer,
 	mutexcallback.Analyzer,
 	onstepblock.Analyzer,
 	shardsafe.Analyzer,

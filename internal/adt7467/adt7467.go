@@ -27,6 +27,7 @@ import (
 
 	"thermctl/internal/fan"
 	"thermctl/internal/i2c"
+	"thermctl/internal/metrics"
 	"thermctl/internal/sensor"
 )
 
@@ -88,6 +89,10 @@ type Chip struct {
 	// condition has gone). Guarded by mu.
 	alarmCond    bool
 	alarmLatched bool
+
+	// regWrites is the optional nil-safe metric counting register write
+	// transactions on the bus (see InstrumentMetrics).
+	regWrites *metrics.Counter
 }
 
 // NewChip wires a chip to its temperature sensor and fan, initialized to
@@ -172,7 +177,20 @@ func (c *Chip) ReadReg(reg uint8) (uint8, error) {
 func (c *Chip) WriteReg(reg, val uint8) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.regWrites.Inc()
 	return c.rf.WriteReg(reg, val)
+}
+
+// InstrumentMetrics registers a register-write counter on reg with the
+// given constant labels and attaches it: every bus write transaction
+// reaching the chip increments it, whatever the register. Wiring-time
+// only — registration must not happen in Step-reachable code.
+func (c *Chip) InstrumentMetrics(reg *metrics.Registry, labels ...metrics.Label) {
+	ctr := reg.NewCounter("thermctl_adt7467_register_writes_total",
+		"i2c register write transactions handled by the chip", labels...)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.regWrites = ctr
 }
 
 // Step runs one monitoring cycle. In automatic mode the chip re-evaluates

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"testing"
 
+	"thermctl/internal/metrics"
 	"thermctl/internal/rack"
 	"thermctl/internal/workload"
 )
@@ -63,6 +64,30 @@ func BenchmarkClusterStep(b *testing.B) {
 				b.ReportMetric(float64(nodes)*float64(b.N)/b.Elapsed().Seconds(), "node-steps/s")
 			})
 		}
+	}
+}
+
+// BenchmarkClusterStepMetrics is the instrumented twin of
+// BenchmarkClusterStep at the 64-node scale: the same step loop with a
+// metrics registry attached (step-latency histogram, per-shard timing,
+// barrier-wait spread, step counter). Comparing nodes=64 sub-benchmarks
+// between the two is the overhead of full instrumentation; the
+// acceptance bar is within 5% of the uninstrumented baseline at 4
+// workers.
+func BenchmarkClusterStepMetrics(b *testing.B) {
+	const nodes = 64
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("nodes=%d/workers=%d", nodes, workers), func(b *testing.B) {
+			c := benchCluster(b, nodes, workers)
+			defer c.Close()
+			c.InstrumentMetrics(metrics.NewRegistry())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Step()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(nodes)*float64(b.N)/b.Elapsed().Seconds(), "node-steps/s")
+		})
 	}
 }
 

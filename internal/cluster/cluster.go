@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"time"
 
+	"thermctl/internal/metrics"
 	"thermctl/internal/node"
 	"thermctl/internal/rng"
 	"thermctl/internal/simclock"
@@ -61,6 +62,10 @@ type Cluster struct {
 	// SetWorkers asks for more.
 	workers int
 	pool    *shardPool
+
+	// met holds the optional metric handles (see InstrumentMetrics in
+	// metrics.go); every handle is nil-safe.
+	met clusterMetrics
 }
 
 // New builds a cluster of n default nodes stepping at dt. Node i is
@@ -106,6 +111,7 @@ func (c *Cluster) tickControllers() {
 	for _, ctl := range c.controllers {
 		ctl.OnStep(now)
 	}
+	c.met.steps.Inc()
 }
 
 // Step advances every node — in parallel across the worker shards when
@@ -115,6 +121,9 @@ func (c *Cluster) tickControllers() {
 // same step boundary, exactly as under serial stepping.
 func (c *Cluster) Step() {
 	dt := c.Clock.Dt()
+	if c.met.timed() {
+		defer c.met.stepSeconds.ObserveSince(metrics.Now())
+	}
 	c.advanceNodes(func(i int) { c.Nodes[i].Step(dt) })
 	c.tickControllers()
 }

@@ -1,0 +1,51 @@
+package cluster
+
+import "thermctl/internal/metrics"
+
+// clusterMetrics holds the cluster's optional metric handles. Every
+// handle is nil-safe, so an uninstrumented cluster pays one branch per
+// update site. Wall-clock timing is additionally gated on timed(): the
+// simulation itself never reads the wall clock (the determinism lint
+// enforces that), so observability timestamps go through metrics.Now /
+// metrics.Since and are taken only when a registry asked for them.
+type clusterMetrics struct {
+	// steps counts simulation steps (one tickControllers per step, in
+	// both Step and RunProgram).
+	steps *metrics.Counter
+	// stepSeconds is the wall-clock latency of one Cluster.Step.
+	stepSeconds *metrics.Histogram
+	// shardSeconds is the wall-clock time one worker spent advancing
+	// its shard within a step (parallel stepping only).
+	shardSeconds *metrics.Histogram
+	// barrierWaitSeconds is the spread between the slowest and fastest
+	// shard of a step — the time fast workers idled at the barrier.
+	barrierWaitSeconds *metrics.Histogram
+	// workers is the configured worker count.
+	workers *metrics.Gauge
+}
+
+// timed reports whether wall-clock observation is enabled. Nil-safe so
+// the shard pool can hold a pointer unconditionally.
+func (m *clusterMetrics) timed() bool {
+	return m != nil && m.stepSeconds != nil
+}
+
+// InstrumentMetrics registers the cluster's step/shard metrics on reg
+// with the given constant labels and attaches them. Wiring-time only —
+// call before stepping begins, never from Step-reachable code.
+func (c *Cluster) InstrumentMetrics(reg *metrics.Registry, labels ...metrics.Label) {
+	c.met.steps = reg.NewCounter("thermctl_cluster_steps_total",
+		"simulation steps advanced", labels...)
+	c.met.stepSeconds = reg.NewHistogram("thermctl_cluster_step_seconds",
+		"wall-clock latency of one cluster step", nil, labels...)
+	c.met.shardSeconds = reg.NewHistogram("thermctl_cluster_shard_seconds",
+		"wall-clock time of one worker shard within a step", nil, labels...)
+	c.met.barrierWaitSeconds = reg.NewHistogram("thermctl_cluster_barrier_wait_seconds",
+		"wall-clock spread between the slowest and fastest shard of a step", nil, labels...)
+	c.met.workers = reg.NewGauge("thermctl_cluster_workers",
+		"configured worker count", labels...)
+	c.met.workers.Set(float64(c.workers))
+	if c.pool != nil {
+		c.pool.met = &c.met
+	}
+}

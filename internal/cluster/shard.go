@@ -1,6 +1,11 @@
 package cluster
 
-import "runtime"
+import (
+	"runtime"
+	"time"
+
+	"thermctl/internal/metrics"
+)
 
 // shardPool is a persistent pool of worker goroutines that advance
 // disjoint shards of the cluster's nodes in parallel. Nodes receive a
@@ -29,9 +34,17 @@ type shardPool struct {
 	// after them; the channel operations order the accesses.
 	job func(node int)
 
+	// met points at the owning cluster's metric handles; workers time
+	// their shards only while met.timed() reports instrumentation, so
+	// the uninstrumented hot path takes no wall-clock reads. Written
+	// only while the pool is idle (wiring time).
+	met *clusterMetrics
+
 	start []chan struct{}
-	done  chan struct{}
-	quit  chan struct{}
+	// done carries each worker's shard wall time for the completed
+	// dispatch (zero when timing is off — it then only signals).
+	done chan time.Duration
+	quit chan struct{}
 }
 
 // newShardPool starts workers goroutines over n nodes. workers must be
@@ -40,7 +53,7 @@ func newShardPool(workers, n int) *shardPool {
 	p := &shardPool{
 		shards: make([][]int, workers),
 		start:  make([]chan struct{}, workers),
-		done:   make(chan struct{}, workers),
+		done:   make(chan time.Duration, workers),
 		quit:   make(chan struct{}),
 	}
 	for w := 0; w < workers; w++ {
@@ -64,10 +77,19 @@ func (p *shardPool) loop(w int) {
 		case <-p.quit:
 			return
 		case <-p.start[w]:
-			for _, i := range p.shards[w] {
-				p.job(i)
+			var elapsed time.Duration
+			if p.met.timed() {
+				begin := metrics.Now()
+				for _, i := range p.shards[w] {
+					p.job(i)
+				}
+				elapsed = metrics.Since(begin)
+			} else {
+				for _, i := range p.shards[w] {
+					p.job(i)
+				}
 			}
-			p.done <- struct{}{}
+			p.done <- elapsed
 		}
 	}
 }
@@ -79,9 +101,28 @@ func (p *shardPool) dispatch(job func(node int)) {
 	for _, ch := range p.start {
 		ch <- struct{}{}
 	}
-	for range p.start {
-		<-p.done
+	if !p.met.timed() {
+		for range p.start {
+			<-p.done
+		}
+		p.job = nil
+		return
 	}
+	// Instrumented: record each shard's wall time and, once all have
+	// reported, the slowest-minus-fastest spread — the time the fast
+	// workers idled at the barrier this step.
+	var fastest, slowest time.Duration
+	for i := range p.start {
+		d := <-p.done
+		p.met.shardSeconds.Observe(d.Seconds())
+		if i == 0 || d < fastest {
+			fastest = d
+		}
+		if d > slowest {
+			slowest = d
+		}
+	}
+	p.met.barrierWaitSeconds.Observe((slowest - fastest).Seconds())
 	p.job = nil
 }
 
@@ -121,7 +162,9 @@ func (c *Cluster) SetWorkers(w int) {
 	if w > 1 {
 		c.workers = w
 		c.pool = newShardPool(w, len(c.Nodes))
+		c.pool.met = &c.met
 	}
+	c.met.workers.Set(float64(c.workers))
 }
 
 // Workers returns the configured worker count (1 when stepping

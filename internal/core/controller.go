@@ -75,6 +75,9 @@ type Controller struct {
 	errs      uint64
 	anchor    bool
 	holdFloor bool
+	// mt holds the optional metric handles (see InstrumentMetrics in
+	// metrics.go); every handle is nil-safe.
+	mt controllerMetrics
 }
 
 // ActuatorBinding attaches an actuator with an explicit array bound N;
@@ -215,7 +218,10 @@ func (s Status) String() string {
 // reductions); increases stay allowed. The Hybrid coordinator uses it
 // to stop the out-of-band knob from relaxing while the in-band knob is
 // engaged.
-func (c *Controller) SetHoldFloor(hold bool) { c.holdFloor = hold }
+func (c *Controller) SetHoldFloor(hold bool) {
+	c.holdFloor = hold
+	c.mt.holdFloor.SetBool(hold)
+}
 
 // OnStep samples and, on each completed window round, updates every
 // actuator. Call it once per simulation step with the current time.
@@ -227,11 +233,13 @@ func (c *Controller) OnStep(now time.Duration) {
 	t, err := c.read()
 	if err != nil {
 		c.errs++
+		c.mt.errors.Inc()
 		return
 	}
 	if !c.win.Add(t) {
 		return
 	}
+	c.mt.rounds.Inc()
 	if !c.anchor {
 		// First completed round: anchor each actuator's index to the
 		// absolute temperature so a controller started on an already
@@ -261,6 +269,7 @@ func (c *Controller) decide(ba *boundActuator) {
 	di := int(math.Round(ba.coef * c.win.DeltaL1()))
 	usedL2 := false
 	if di == 0 && ba.l2Cooldown == 0 && c.win.L2Full() {
+		c.mt.l2Fallbacks.Inc()
 		di = int(math.Round(ba.coef * c.win.DeltaL2()))
 		usedL2 = di != 0
 	}
@@ -296,7 +305,9 @@ func (c *Controller) decide(ba *boundActuator) {
 func (c *Controller) apply(ba *boundActuator) {
 	if err := ba.act.Apply(ba.arr.Mode(ba.idx)); err != nil {
 		c.errs++
+		c.mt.errors.Inc()
 		return
 	}
 	ba.moves++
+	c.mt.modeTransitions.Inc()
 }

@@ -1,6 +1,10 @@
 package core
 
-import "time"
+import (
+	"time"
+
+	"thermctl/internal/metrics"
+)
 
 // Hybrid is the unified in-band + out-of-band controller of the paper's
 // §4.4: one dynamic fan controller and one tDVFS daemon driven by the
@@ -22,6 +26,10 @@ type Hybrid struct {
 	Fan *Controller
 	// DVFS is the tDVFS daemon (in-band knob).
 	DVFS *TDVFS
+
+	// holdSteps is the optional nil-safe coordination counter (see
+	// InstrumentMetrics in metrics.go).
+	holdSteps *metrics.Counter
 }
 
 // NewHybrid couples the two controllers.
@@ -34,6 +42,10 @@ func NewHybrid(fan *Controller, dvfs *TDVFS) *Hybrid {
 // the in-band knob is engaged.
 func (h *Hybrid) OnStep(now time.Duration) {
 	h.DVFS.OnStep(now)
-	h.Fan.SetHoldFloor(h.DVFS.Engaged())
+	engaged := h.DVFS.Engaged()
+	if engaged {
+		h.holdSteps.Inc()
+	}
+	h.Fan.SetHoldFloor(engaged)
 	h.Fan.OnStep(now)
 }

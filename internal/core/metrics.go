@@ -1,0 +1,113 @@
+package core
+
+import "thermctl/internal/metrics"
+
+// This file wires the controllers to the metrics layer. Registration
+// happens here, at wiring time — never inside OnStep-reachable code
+// (the metricsafe analyzer enforces that) — and the handles themselves
+// are nil-safe, so an uninstrumented controller pays one predictable
+// branch per event.
+
+// controllerMetrics bundles the unified controller's instruments.
+type controllerMetrics struct {
+	// rounds counts completed history-window rounds (one control
+	// decision opportunity each).
+	rounds *metrics.Counter
+	// modeTransitions counts applied actuator mode changes.
+	modeTransitions *metrics.Counter
+	// l2Fallbacks counts rounds where the short-horizon Δt_L1 predictor
+	// produced no index move and the long-horizon Δt_L2 predictor was
+	// consulted instead.
+	l2Fallbacks *metrics.Counter
+	// errors counts failed sensor reads and actuations.
+	errors *metrics.Counter
+	// holdFloor is 1 while downward index moves are suppressed by the
+	// hybrid coordinator.
+	holdFloor *metrics.Gauge
+}
+
+// InstrumentMetrics registers the controller's instruments on reg with
+// the given constant labels and attaches them. Call it once at wiring
+// time, before the control loop starts; hot paths only update the
+// handles.
+func (c *Controller) InstrumentMetrics(reg *metrics.Registry, labels ...metrics.Label) {
+	c.mt = controllerMetrics{
+		rounds: reg.NewCounter("thermctl_controller_rounds_total",
+			"completed temperature history-window rounds", labels...),
+		modeTransitions: reg.NewCounter("thermctl_controller_mode_transitions_total",
+			"applied actuator mode changes", labels...),
+		l2Fallbacks: reg.NewCounter("thermctl_controller_l2_fallbacks_total",
+			"rounds deciding on the long-horizon delta-t-L2 predictor after delta-t-L1 produced no move", labels...),
+		errors: reg.NewCounter("thermctl_controller_errors_total",
+			"failed sensor reads or actuator writes", labels...),
+		holdFloor: reg.NewGauge("thermctl_controller_hold_floor",
+			"1 while downward fan moves are held by the hybrid coordinator", labels...),
+	}
+}
+
+// tdvfsMetrics bundles the tDVFS daemon's instruments.
+type tdvfsMetrics struct {
+	// rounds counts completed history-window rounds.
+	rounds *metrics.Counter
+	// downscales counts threshold-trip scale-down decisions.
+	downscales *metrics.Counter
+	// upscales counts restore-to-nominal decisions.
+	upscales *metrics.Counter
+	// errors counts failed reads and actuations.
+	errors *metrics.Counter
+	// engaged is 1 while the daemon holds the CPU below nominal.
+	engaged *metrics.Gauge
+}
+
+// InstrumentMetrics registers the daemon's instruments on reg with the
+// given constant labels and attaches them. Wiring-time only.
+func (d *TDVFS) InstrumentMetrics(reg *metrics.Registry, labels ...metrics.Label) {
+	d.mt = tdvfsMetrics{
+		rounds: reg.NewCounter("thermctl_tdvfs_rounds_total",
+			"completed tDVFS history-window rounds", labels...),
+		downscales: reg.NewCounter("thermctl_tdvfs_downscales_total",
+			"threshold-trip frequency scale-downs", labels...),
+		upscales: reg.NewCounter("thermctl_tdvfs_upscales_total",
+			"restores to the nominal frequency", labels...),
+		errors: reg.NewCounter("thermctl_tdvfs_errors_total",
+			"failed sensor reads or frequency writes", labels...),
+		engaged: reg.NewGauge("thermctl_tdvfs_engaged",
+			"1 while the CPU is held below its nominal frequency", labels...),
+	}
+}
+
+// InstrumentMetrics instruments both coupled controllers plus the
+// coordination itself. Wiring-time only.
+func (h *Hybrid) InstrumentMetrics(reg *metrics.Registry, labels ...metrics.Label) {
+	h.Fan.InstrumentMetrics(reg, labels...)
+	h.DVFS.InstrumentMetrics(reg, labels...)
+	h.holdSteps = reg.NewCounter("thermctl_hybrid_hold_steps_total",
+		"simulation steps with the fan floor held while tDVFS was engaged", labels...)
+}
+
+// watchdogMetrics bundles the fan-failure watchdog's instruments.
+type watchdogMetrics struct {
+	// failures counts declared fan failures (watchdog firings).
+	failures *metrics.Counter
+	// recoveries counts ended emergencies.
+	recoveries *metrics.Counter
+	// errors counts failed tach reads or actuations.
+	errors *metrics.Counter
+	// emergency is 1 while a fan failure is declared.
+	emergency *metrics.Gauge
+}
+
+// InstrumentMetrics registers the watchdog's instruments on reg with
+// the given constant labels and attaches them. Wiring-time only.
+func (w *Watchdog) InstrumentMetrics(reg *metrics.Registry, labels ...metrics.Label) {
+	w.mt = watchdogMetrics{
+		failures: reg.NewCounter("thermctl_watchdog_failures_total",
+			"declared fan failures", labels...),
+		recoveries: reg.NewCounter("thermctl_watchdog_recoveries_total",
+			"fan-failure emergencies ended by recovery", labels...),
+		errors: reg.NewCounter("thermctl_watchdog_errors_total",
+			"failed tachometer reads or frequency writes", labels...),
+		emergency: reg.NewGauge("thermctl_watchdog_emergency",
+			"1 while a fan failure is declared", labels...),
+	}
+}

@@ -99,6 +99,10 @@ type TDVFS struct {
 	// scale-down happened.
 	firstDownAt time.Duration
 	triggered   bool
+
+	// mt holds the optional metric handles (see InstrumentMetrics in
+	// metrics.go); every handle is nil-safe.
+	mt tdvfsMetrics
 }
 
 // NewTDVFS builds the daemon over a DVFS actuator.
@@ -169,11 +173,13 @@ func (d *TDVFS) OnStep(now time.Duration) {
 	t, err := d.read()
 	if err != nil {
 		d.errs++
+		d.mt.errors.Inc()
 		return
 	}
 	if !d.win.Add(t) {
 		return
 	}
+	d.mt.rounds.Inc()
 	if d.cooldown > 0 {
 		d.cooldown--
 		return
@@ -201,10 +207,13 @@ func (d *TDVFS) OnStep(now time.Duration) {
 		}
 		if err := d.act.Apply(next); err != nil {
 			d.errs++
+			d.mt.errors.Inc()
 			return
 		}
 		d.curMode = next
 		d.downs++
+		d.mt.downscales.Inc()
+		d.mt.engaged.SetBool(true)
 		if !d.triggered {
 			d.triggered = true
 			d.firstDownAt = now
@@ -217,10 +226,13 @@ func (d *TDVFS) OnStep(now time.Duration) {
 		// (2.2→2.4 and 2.0→2.4 in one step).
 		if err := d.act.Apply(0); err != nil {
 			d.errs++
+			d.mt.errors.Inc()
 			return
 		}
 		d.curMode = 0
 		d.ups++
+		d.mt.upscales.Inc()
+		d.mt.engaged.SetBool(false)
 		d.cooldown = d.cfg.CooldownRounds
 	}
 }

@@ -62,6 +62,10 @@ type Watchdog struct {
 	emergency bool
 	events    []WatchdogEvent
 	errs      uint64
+
+	// mt holds the optional metric handles (see InstrumentMetrics in
+	// metrics.go); every handle is nil-safe.
+	mt watchdogMetrics
 }
 
 // NewWatchdog builds the watchdog over a tach reader and the DVFS
@@ -102,6 +106,7 @@ func (w *Watchdog) OnStep(now time.Duration) {
 	rpm, err := w.rpm()
 	if err != nil {
 		w.errs++
+		w.mt.errors.Inc()
 		return
 	}
 	if rpm <= w.cfg.StallRPM {
@@ -118,16 +123,22 @@ func (w *Watchdog) OnStep(now time.Duration) {
 		// frequency) mode right now.
 		if err := w.act.Apply(w.act.NumModes() - 1); err != nil {
 			w.errs++
+			w.mt.errors.Inc()
 			return
 		}
 		w.emergency = true
+		w.mt.failures.Inc()
+		w.mt.emergency.SetBool(true)
 		w.events = append(w.events, WatchdogEvent{At: now, Failure: true})
 	case w.emergency && w.healthy >= w.cfg.RecoverSamples:
 		if err := w.act.Apply(0); err != nil {
 			w.errs++
+			w.mt.errors.Inc()
 			return
 		}
 		w.emergency = false
+		w.mt.recoveries.Inc()
+		w.mt.emergency.SetBool(false)
 		w.events = append(w.events, WatchdogEvent{At: now, Failure: false})
 	}
 }

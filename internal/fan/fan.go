@@ -16,6 +16,8 @@ import (
 	"math"
 	"sync"
 	"time"
+
+	"thermctl/internal/metrics"
 )
 
 // Config describes the static characteristics of a fan.
@@ -57,6 +59,10 @@ type Fan struct {
 	duty   float64 // commanded duty, percent [0,100]
 	rpm    float64 // current (lagged) speed
 	failed bool
+
+	// dutyTransitions is the optional nil-safe metric counting commanded
+	// duty changes (see InstrumentMetrics).
+	dutyTransitions *metrics.Counter
 }
 
 // New returns a fan with the given configuration, initially commanded to
@@ -73,7 +79,23 @@ func New(cfg Config, dutyPercent float64) *Fan {
 func (f *Fan) SetDuty(dutyPercent float64) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	f.duty = math.Min(100, math.Max(0, dutyPercent))
+	clamped := math.Min(100, math.Max(0, dutyPercent))
+	if clamped != f.duty {
+		f.dutyTransitions.Inc()
+	}
+	f.duty = clamped
+}
+
+// InstrumentMetrics registers a duty-transition counter on reg with
+// the given constant labels and attaches it: every SetDuty that
+// changes the commanded duty increments it. Wiring-time only —
+// registration must not happen in Step-reachable code.
+func (f *Fan) InstrumentMetrics(reg *metrics.Registry, labels ...metrics.Label) {
+	c := reg.NewCounter("thermctl_fan_duty_transitions_total",
+		"commanded PWM duty changes", labels...)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.dutyTransitions = c
 }
 
 // Duty returns the commanded duty cycle in percent.

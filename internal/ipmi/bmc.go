@@ -5,8 +5,10 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"thermctl/internal/adt7467"
+	"thermctl/internal/metrics"
 )
 
 // SensorReader supplies one sensor's current value.
@@ -29,6 +31,11 @@ type BMC struct {
 	fan      *adt7467.Driver
 	deviceID [2]byte
 	handled  uint64
+
+	// requests and latency are the optional nil-safe metric handles
+	// (see InstrumentMetrics).
+	requests *metrics.Counter
+	latency  *metrics.Histogram
 }
 
 // NewBMC returns a BMC with an empty sensor repository. fanDrv may be
@@ -76,11 +83,36 @@ func (b *BMC) Handled() uint64 {
 	return b.handled
 }
 
+// InstrumentMetrics registers a request counter and a request-latency
+// histogram on reg with the given constant labels and attaches them.
+// Wiring-time only — the BMC serves connections on their own
+// goroutines, so attach before the first transport is connected.
+func (b *BMC) InstrumentMetrics(reg *metrics.Registry, labels ...metrics.Label) {
+	req := reg.NewCounter("thermctl_ipmi_requests_total",
+		"IPMI requests handled by the BMC", labels...)
+	lat := reg.NewHistogram("thermctl_ipmi_request_seconds",
+		"IPMI request handling latency", nil, labels...)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.requests = req
+	b.latency = lat
+}
+
 // Handle implements Handler.
 func (b *BMC) Handle(req Request) Response {
 	b.mu.Lock()
 	b.handled++
+	requests, latency := b.requests, b.latency
 	b.mu.Unlock()
+	requests.Inc()
+	if latency != nil {
+		defer latency.ObserveSince(time.Now())
+	}
+	return b.dispatch(req)
+}
+
+// dispatch routes one request to its handler.
+func (b *BMC) dispatch(req Request) Response {
 	switch {
 	case req.NetFn == NetFnApp && req.Cmd == CmdGetDeviceID:
 		return Response{CC: CCOK, Data: b.deviceID[:]}

@@ -1,0 +1,162 @@
+// Package metricsafe verifies the metrics registry's wiring/update
+// split: metric registration never happens in Step-reachable code.
+//
+// The internal/metrics package keeps its hot path cheap by splitting
+// the API in two. Registration (Registry.NewCounter / NewGauge /
+// NewHistogram) takes the registry mutex, validates names and panics on
+// misuse — it is wiring-time code, meant to run once while a component
+// is being assembled. Updates (Counter.Inc, Gauge.Set,
+// Histogram.Observe) are lock-free atomics, safe at any frequency.
+// Registering from inside a simulation step would take the registry
+// lock inside the lock-step loop, grow the registry without bound, and
+// turn a validation panic into a mid-run crash — so the analyzer walks
+// the intra-package call graph rooted at every Step/OnStep method and
+// flags registration calls it can reach, reporting the call chain.
+package metricsafe
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"thermctl/internal/lint"
+)
+
+// Analyzer is the registration-placement check.
+var Analyzer = &lint.Analyzer{
+	Name: "metricsafe",
+	Doc:  "forbid metric registration in code reachable from Step/OnStep; register at wiring time, update on the hot path",
+	Run:  run,
+}
+
+// registrationMethods are the Registry methods that register (as
+// opposed to update) a metric.
+var registrationMethods = map[string]bool{
+	"NewCounter":   true,
+	"NewGauge":     true,
+	"NewHistogram": true,
+}
+
+func run(pass *lint.Pass) error {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+	for fn, fd := range decls {
+		if !isStepRoot(fn) {
+			continue
+		}
+		w := &walker{pass: pass, decls: decls, visited: map[*types.Func]bool{}}
+		w.walk(fn, fd, []string{methodLabel(fn)})
+	}
+	return nil
+}
+
+// isStepRoot reports whether fn is an entry point of the per-step hot
+// path: any method named Step or OnStep. The signatures vary (Node.Step
+// takes a Duration and returns retired work, Controller.OnStep takes
+// the current time), so the name alone defines the root set.
+func isStepRoot(fn *types.Func) bool {
+	if fn.Name() != "Step" && fn.Name() != "OnStep" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil
+}
+
+func methodLabel(fn *types.Func) string {
+	name := fn.FullName()
+	name = strings.ReplaceAll(name, "thermctl/internal/", "")
+	return strings.ReplaceAll(name, "thermctl/", "")
+}
+
+type walker struct {
+	pass    *lint.Pass
+	decls   map[*types.Func]*ast.FuncDecl
+	visited map[*types.Func]bool
+}
+
+// walk inspects fn's body for registration calls and recurses into
+// statically resolvable same-package callees. chain is the call path
+// from the Step root, for diagnostics.
+func (w *walker) walk(fn *types.Func, fd *ast.FuncDecl, chain []string) {
+	if w.visited[fn] {
+		return
+	}
+	w.visited[fn] = true
+	via := ""
+	if len(chain) > 1 {
+		via = " (reached via " + strings.Join(chain, " → ") + ")"
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		w.checkCall(call, chain, via)
+		return true
+	})
+}
+
+func (w *walker) checkCall(call *ast.CallExpr, chain []string, via string) {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return
+	}
+	fn, ok := w.pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok {
+		return
+	}
+	if isRegistration(fn) {
+		w.pass.Reportf(call.Pos(),
+			"metric registration %s in Step-reachable code%s; register at wiring time and only update handles on the hot path",
+			fn.Name(), via)
+		return
+	}
+	if fn.Pkg() != w.pass.Pkg {
+		return // cross-package static analysis stops at the boundary
+	}
+	if fd, ok := w.decls[fn]; ok {
+		w.walk(fn, fd, append(chain, fn.Name()))
+	}
+}
+
+// isRegistration reports whether fn is a Registry registration method:
+// either the canonical internal/metrics Registry by import path, or —
+// structurally — any method named New{Counter,Gauge,Histogram} whose
+// receiver's named type is called Registry.
+func isRegistration(fn *types.Func) bool {
+	if !registrationMethods[fn.Name()] {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	// Any type named Registry qualifies: the canonical
+	// internal/metrics one, and — structurally — registry-shaped types
+	// elsewhere (the stdlib-only lint fixtures, future registries),
+	// which are held to the same contract.
+	return named.Obj().Name() == "Registry"
+}

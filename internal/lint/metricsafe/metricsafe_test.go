@@ -1,0 +1,12 @@
+package metricsafe_test
+
+import (
+	"testing"
+
+	"thermctl/internal/lint/linttest"
+	"thermctl/internal/lint/metricsafe"
+)
+
+func TestMetricsafe(t *testing.T) {
+	linttest.Run(t, "testdata/ms", metricsafe.Analyzer)
+}

@@ -1,0 +1,94 @@
+// Package ms exercises the metricsafe analyzer. It defines a local
+// registry shaped like internal/metrics.Registry (the fixtures may
+// import only the standard library); the analyzer matches it
+// structurally.
+package ms
+
+import "time"
+
+type Counter struct{ v uint64 }
+
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v++
+}
+
+type Registry struct{ names []string }
+
+func (r *Registry) NewCounter(name string) *Counter {
+	r.names = append(r.names, name)
+	return &Counter{}
+}
+
+func (r *Registry) NewGauge(name string) *Counter {
+	r.names = append(r.names, name)
+	return &Counter{}
+}
+
+func (r *Registry) NewHistogram(name string) *Counter {
+	r.names = append(r.names, name)
+	return &Counter{}
+}
+
+type ctl struct {
+	reg    *Registry
+	rounds *Counter
+}
+
+// OnStep registering directly and through a helper: both are flagged,
+// the transitive one with its call chain.
+func (c *ctl) OnStep(now time.Duration) {
+	bad := c.reg.NewCounter("rounds") // want `metric registration NewCounter in Step-reachable code`
+	bad.Inc()
+	c.lazyInit()
+	c.rounds.Inc() // updates are the hot-path API and always fine
+}
+
+func (c *ctl) lazyInit() {
+	if c.rounds == nil {
+		c.rounds = c.reg.NewGauge("lazy") // want `metric registration NewGauge in Step-reachable code \(reached via .*OnStep → lazyInit\)`
+	}
+}
+
+type model struct {
+	reg  *Registry
+	hist *Counter
+}
+
+// Step is a root too (node models name their per-step entry Step).
+func (m *model) Step(dt time.Duration) {
+	m.hist = m.reg.NewHistogram("lat") // want `metric registration NewHistogram in Step-reachable code`
+}
+
+type good struct {
+	rounds *Counter
+}
+
+// Wire registers at wiring time — not a Step root, not reachable from
+// one, so registration is fine here.
+func (g *good) Wire(reg *Registry) {
+	g.rounds = reg.NewCounter("rounds")
+}
+
+func (g *good) OnStep(now time.Duration) {
+	g.rounds.Inc()
+}
+
+// NewCounter as a free function (no Registry receiver) is not
+// registration.
+func NewCounter() *Counter { return &Counter{} }
+
+type freeFunc struct{ c *Counter }
+
+func (f *freeFunc) OnStep(now time.Duration) {
+	f.c = NewCounter()
+}
+
+type allowed struct{ reg *Registry }
+
+func (a *allowed) OnStep(now time.Duration) {
+	//thermlint:allow metricsafe -- fixture: suppression must work for deliberate wiring-in-step
+	_ = a.reg.NewCounter("suppressed")
+}

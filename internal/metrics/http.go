@@ -1,0 +1,66 @@
+package metrics
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler returns an http.Handler serving the registry in Prometheus
+// text format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WritePrometheus(w); err != nil {
+			// Headers are gone; all we can do is drop the connection.
+			panic(http.ErrAbortHandler)
+		}
+	})
+}
+
+// NewServeMux returns the daemons' observability mux: /metrics in
+// Prometheus text format plus the standard net/http/pprof endpoints
+// under /debug/pprof/, registered explicitly so nothing leaks onto
+// http.DefaultServeMux.
+func NewServeMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running observability endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts serving the registry's observability mux on addr
+// (host:port; port 0 picks an ephemeral port) and returns immediately.
+// The caller owns the returned server and should Close it on shutdown.
+func Serve(addr string, r *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: NewServeMux(r), ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		// Serve returns http.ErrServerClosed (or a closed-listener
+		// error) once Close tears the listener down; there is no caller
+		// left to report it to.
+		_ = srv.Serve(ln)
+	}()
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the bound address, e.g. "127.0.0.1:49321".
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and in-flight handlers.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,128 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus
+// text exposition format (version 0.0.4): one # HELP / # TYPE header
+// per metric family, then one line per sample, histograms expanded
+// into cumulative _bucket/_sum/_count series. Output order is
+// deterministic: families sorted by name, samples by label set.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+	// Group consecutive samples into families: Snapshot sorts by name,
+	// so one pass suffices.
+	for i := 0; i < len(snap); {
+		j := i
+		for j < len(snap) && snap[j].Name == snap[i].Name {
+			j++
+		}
+		if err := writeFamily(w, snap[i:j]); err != nil {
+			return err
+		}
+		i = j
+	}
+	return nil
+}
+
+func writeFamily(w io.Writer, family []Sample) error {
+	head := family[0]
+	if head.Help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", head.Name, escapeHelp(head.Help)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", head.Name, head.Kind); err != nil {
+		return err
+	}
+	for _, s := range family {
+		if err := writeSample(w, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeSample(w io.Writer, s Sample) error {
+	switch s.Kind {
+	case KindCounter, KindGauge:
+		_, err := fmt.Fprintf(w, "%s%s %s\n", s.Name, labelString(s.Labels, "", 0), formatValue(s.Value))
+		return err
+	case KindHistogram:
+		for _, b := range s.Buckets {
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+				s.Name, labelString(s.Labels, "le", b.UpperBound), b.CumulativeCount); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", s.Name, labelString(s.Labels, "", 0), formatValue(s.Sum)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", s.Name, labelString(s.Labels, "", 0), s.Count)
+		return err
+	default:
+		return fmt.Errorf("metrics: unknown kind %q", s.Kind)
+	}
+}
+
+// labelString renders {k="v",...}, appending an le bucket label when
+// leKey is non-empty. Empty label sets render as nothing.
+func labelString(labels []Label, leKey string, le float64) string {
+	if len(labels) == 0 && leKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	if leKey != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(leKey)
+		b.WriteString(`="`)
+		b.WriteString(formatValue(le))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatValue renders a float the way Prometheus expects: +Inf/-Inf
+// spelled out, integers without exponent noise.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// escapeHelp escapes a help string per the exposition format.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}

@@ -1,4 +1,4 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # bench.sh runs the cluster scale benchmark suite and refreshes
 # BENCH_cluster.json, the repository's performance trajectory file.
 #
@@ -8,12 +8,18 @@
 #	BENCHTIME=1x ./scripts/bench.sh   # one iteration per benchmark (CI smoke)
 #	OUT=/dev/stdout ./scripts/bench.sh
 #
-# The suite is BenchmarkClusterStep / BenchmarkClusterStepRack /
-# BenchmarkClusterRunProgram in internal/cluster: 4/64/256 nodes crossed
-# with 1/4/GOMAXPROCS workers. Parallel stepping is byte-identical to
-# serial, so the sweep measures wall-clock only; the JSON's "speedups"
-# section reports serial-over-parallel per (benchmark, nodes) group.
-set -eu
+# The suite is BenchmarkClusterStep / BenchmarkClusterStepMetrics /
+# BenchmarkClusterStepRack / BenchmarkClusterRunProgram in
+# internal/cluster: 4/64/256 nodes crossed with 1/4/GOMAXPROCS workers.
+# Parallel stepping is byte-identical to serial, so the sweep measures
+# wall-clock only; the JSON's "speedups" section reports
+# serial-over-parallel per (benchmark, nodes) group, and the
+# StepMetrics-vs-Step delta at a given shape is the overhead of full
+# metrics instrumentation.
+#
+# pipefail matters here: `go test | tee` must fail the script when the
+# benchmark run fails, not when tee does.
+set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
@@ -23,7 +29,7 @@ tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 echo "==> go test -bench BenchmarkCluster -benchtime $BENCHTIME ./internal/cluster" >&2
-go test -run '^$' -bench 'BenchmarkCluster(Step|StepRack|RunProgram)$' \
+go test -run '^$' -bench 'BenchmarkCluster(Step|StepMetrics|StepRack|RunProgram)$' \
 	-benchtime "$BENCHTIME" -count 1 ./internal/cluster | tee "$tmp" >&2
 
 go run ./cmd/benchjson <"$tmp" >"$OUT"

@@ -23,6 +23,13 @@ fi
 echo "==> thermlint ./..."
 go run ./cmd/thermlint ./...
 
+if command -v shellcheck >/dev/null 2>&1; then
+	echo "==> shellcheck scripts/*.sh"
+	shellcheck scripts/*.sh
+else
+	echo "==> shellcheck not installed; skipping script lint"
+fi
+
 echo "==> go test -race ./..."
 go test -race ./...
 

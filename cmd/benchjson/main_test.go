@@ -92,3 +92,30 @@ func TestParseEmptyInput(t *testing.T) {
 		t.Errorf("results from empty input: %+v", rep.Results)
 	}
 }
+
+func TestBestOfFoldsRepeatedRuns(t *testing.T) {
+	const repeated = `goos: linux
+BenchmarkClusterStep/nodes=64/workers=1-8    100    60000 ns/op    1000000 node-steps/s
+BenchmarkClusterStep/nodes=64/workers=1-8    100    45000 ns/op    1400000 node-steps/s
+BenchmarkClusterStep/nodes=64/workers=1-8    100    52000 ns/op    1200000 node-steps/s
+BenchmarkClusterStep/nodes=64/workers=4-8    100    30000 ns/op    2000000 node-steps/s
+PASS
+`
+	rep, err := parse(strings.NewReader(repeated))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 2 {
+		t.Fatalf("parsed %d results after best-of fold, want 2", len(rep.Results))
+	}
+	best := rep.Results[0]
+	if best.NsPerOp != 45000 {
+		t.Errorf("kept %v ns/op, want the 45000 minimum", best.NsPerOp)
+	}
+	if best.Metrics["node-steps/s"] != 1400000 {
+		t.Errorf("metrics not taken from the fastest run: %v", best.Metrics)
+	}
+	if rep.Results[1].Workers != 4 {
+		t.Errorf("fold broke ordering: %+v", rep.Results[1])
+	}
+}

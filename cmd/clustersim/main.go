@@ -7,12 +7,19 @@
 //
 //	clustersim [-nodes 4] [-program bt|lu] [-fan dynamic|static|constant|auto]
 //	           [-dvfs none|tdvfs|cpuspeed] [-pp 50] [-max-duty 50] [-seed N]
-//	           [-workers GOMAXPROCS] [-listen 127.0.0.1:9090]
+//	           [-workers GOMAXPROCS] [-listen 127.0.0.1:9090] [-chaos-seed N]
 //
 // With -listen, the run serves Prometheus-text metrics on /metrics
 // (cluster step latency, per-worker shard timing, barrier wait, and
 // per-node controller series labeled node="...") plus the standard
 // pprof endpoints under /debug/pprof/.
+//
+// With -chaos-seed, a deterministic fault campaign (internal/faults) is
+// generated for every node and replayed during the run: sensors drop
+// out, buses NAK, fans degrade, and the controllers must ride it out on
+// retry and fail-safe degradation. The fault timeline is printed after
+// the run; the same seed yields a byte-identical campaign for any
+// worker count.
 package main
 
 import (
@@ -20,10 +27,12 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"time"
 
 	"thermctl/internal/baseline"
 	"thermctl/internal/cluster"
 	"thermctl/internal/core"
+	"thermctl/internal/faults"
 	"thermctl/internal/metrics"
 	"thermctl/internal/workload"
 )
@@ -39,6 +48,7 @@ type options struct {
 	maxDuty   float64
 	workers   int
 	listen    string
+	chaosSeed uint64
 }
 
 // validate rejects out-of-range or unknown values with an error naming
@@ -73,6 +83,9 @@ func (o options) validate() error {
 	if o.workers < 1 {
 		return fmt.Errorf("-workers %d: need at least one worker", o.workers)
 	}
+	if o.chaosSeed != 0 && o.fanMethod == "auto" && o.dvfs == "none" {
+		return fmt.Errorf("-chaos-seed %d: chaos needs a software controller to exercise (use -fan dynamic/static/constant or -dvfs tdvfs/cpuspeed)", o.chaosSeed)
+	}
 	return nil
 }
 
@@ -88,11 +101,21 @@ func main() {
 	flag.IntVar(&o.workers, "workers", runtime.GOMAXPROCS(0),
 		"worker goroutines stepping the nodes (results are identical for any value)")
 	flag.StringVar(&o.listen, "listen", "", "optional HTTP address for /metrics and /debug/pprof")
+	flag.Uint64Var(&o.chaosSeed, "chaos-seed", 0,
+		"generate and replay a deterministic fault campaign with this seed (0 = no faults)")
 	flag.Parse()
 	if err := o.validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "clustersim:", err)
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	var prog workload.Program
+	switch o.program {
+	case "bt":
+		prog = workload.BTB4()
+	case "lu":
+		prog = workload.LUB4()
 	}
 
 	c, err := cluster.New(o.nodes, cluster.DefaultDt, *seed)
@@ -109,6 +132,33 @@ func main() {
 	if o.listen != "" {
 		reg = metrics.NewRegistry()
 		c.InstrumentMetrics(reg)
+	}
+
+	// Chaos campaign: a generated fault plan across every node, replayed
+	// by the plane in the serial controller phase so the timeline is
+	// byte-identical for any -workers value. The horizon stretches past
+	// the ideal execution time because faults slow the program down.
+	var plane *faults.Plane
+	if o.chaosSeed != 0 {
+		names := make([]string, len(c.Nodes))
+		for i, n := range c.Nodes {
+			names[i] = n.Name
+		}
+		horizon := time.Duration(1.5 * prog.IdealSeconds(2.4) * float64(time.Second))
+		plan := faults.Generate(o.chaosSeed, names, horizon)
+		plane, err = c.ApplyFaults(plan, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		if reg != nil {
+			plane.InstrumentMetrics(reg)
+		}
+		episodes := 0
+		for _, sch := range plan.Schedules {
+			episodes += len(sch.Episodes)
+		}
+		fmt.Printf("clustersim: chaos seed %d: %d fault episodes across %d nodes over %s\n",
+			o.chaosSeed, episodes, len(plan.Schedules), horizon)
 	}
 
 	// Per-node controllers, exactly as daemons run per machine.
@@ -185,14 +235,6 @@ func main() {
 		fmt.Printf("clustersim: metrics and pprof on http://%s/metrics\n", srv.Addr())
 	}
 
-	var prog workload.Program
-	switch o.program {
-	case "bt":
-		prog = workload.BTB4()
-	case "lu":
-		prog = workload.LUB4()
-	}
-
 	fmt.Printf("clustersim: %s on %d nodes (%d workers), fan=%s dvfs=%s Pp=%d max-duty=%.0f%%\n",
 		prog, o.nodes, c.Workers(), o.fanMethod, o.dvfs, o.pp, o.maxDuty)
 	res := c.RunProgram(prog, 0)
@@ -213,6 +255,16 @@ func main() {
 	}
 	fmt.Printf("\ncluster average power: %.2f W; power-delay product: %.0f W*s/node\n",
 		totalW, totalW/float64(len(c.Nodes))*res.ExecTime.Seconds())
+
+	if plane != nil {
+		var emergencies uint64
+		for _, n := range c.Nodes {
+			emergencies += n.Emergencies()
+		}
+		fmt.Printf("\nchaos: %d episode transitions, %d hardware emergencies\n",
+			len(plane.Events()), emergencies)
+		fmt.Print(plane.Timeline())
+	}
 }
 
 func fatal(err error) {

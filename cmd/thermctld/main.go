@@ -7,11 +7,20 @@
 //
 //	thermctld [-pp 50] [-max-duty 50] [-duration 10m]
 //	          [-ipmi 127.0.0.1:9623] [-seed 1] [-config thermctl.json]
-//	          [-listen 127.0.0.1:9090]
+//	          [-listen 127.0.0.1:9090] [-faults plan.json]
 //
 // A JSON config file (see internal/config) overrides the flag defaults:
 //
 //	{"pp": 25, "max_fan_duty": 60, "threshold_c": 55}
+//
+// With -faults, the daemon replays a fault plan (see internal/faults)
+// against its own devices; every schedule in the plan must target this
+// node, "thermctld". Actuator writes run under the retry policy and the
+// controllers degrade to fail-safe when errors persist, so a fault plan
+// is a live resilience drill:
+//
+//	{"name": "drill", "schedules": [{"target": "thermctld",
+//	  "episodes": [{"kind": "sensor-dropout", "start": "30s", "for": "20s"}]}]}
 //
 // With -ipmi, connect with any client speaking this repository's IPMI
 // framing, e.g.:
@@ -35,8 +44,18 @@ import (
 	"thermctl"
 	"thermctl/internal/config"
 	"thermctl/internal/core"
+	"thermctl/internal/faults"
 	"thermctl/internal/ipmi"
 	"thermctl/internal/metrics"
+	"thermctl/internal/rng"
+)
+
+// rng stream indices for the daemon's fault-plane draws, disjoint from
+// the node model's own streams (which are derived from the seed with
+// small indices).
+const (
+	faultStream = 0xfa170000
+	retryStream = 0xfa170001
 )
 
 // options holds the parsed command line plus the test hooks, so the
@@ -53,6 +72,7 @@ type options struct {
 	verbose  bool
 	pace     float64
 	cfgPath  string
+	faults   string
 
 	// stop, when non-nil, ends the run early from another goroutine.
 	stop <-chan struct{}
@@ -73,6 +93,7 @@ func main() {
 	flag.BoolVar(&o.verbose, "verbose", false, "print the controller's internal status with each report")
 	flag.Float64Var(&o.pace, "pace", 0, "simulated seconds per wall second (0 = run flat out); use e.g. 10 when driving the BMC interactively with ipmitool")
 	flag.StringVar(&o.cfgPath, "config", "", "JSON configuration file; overrides -pp/-max-duty")
+	flag.StringVar(&o.faults, "faults", "", "JSON fault plan replayed against this node's devices (resilience drill)")
 	flag.Parse()
 
 	if err := run(o, os.Stdout); err != nil {
@@ -105,14 +126,46 @@ func run(o options, out io.Writer) error {
 	}
 	n.Settle(0)
 
+	// Optional fault plan: replayed by a plane stepped in lockstep with
+	// the control loop, exactly like the cluster's serial fault phase.
+	var plane *faults.Plane
+	if o.faults != "" {
+		plan, err := faults.LoadPlan(o.faults)
+		if err != nil {
+			return err
+		}
+		for _, sch := range plan.Schedules {
+			if sch.Target != n.Name {
+				return fmt.Errorf("fault plan %q targets %q; this daemon's node is %q",
+					plan.Name, sch.Target, n.Name)
+			}
+		}
+		plane, err = faults.NewPlane(plan)
+		if err != nil {
+			return err
+		}
+		n.AttachFaults(plane.Injector(n.Name), rng.New(rng.Mix(o.seed, faultStream)))
+	}
+
+	// Every actuator write runs under the bounded-retry policy, so a
+	// transient bus fault is absorbed before the controller counts an
+	// error; persistent failure still escalates to fail-safe. The nil
+	// sleep hook keeps OnStep off the wall clock.
+	retrier := faults.NewRetrier(faults.DefaultRetryPolicy(),
+		rng.New(rng.Mix(o.seed, retryStream)), nil)
+
 	read := core.SysfsTemp(n.FS, n.Hwmon.TempInput)
 	fan, err := core.NewController(cfg.ControllerConfig(), read,
-		core.ActuatorBinding{Actuator: core.NewFanActuator(
-			&core.SysfsFanPort{FS: n.FS, Chip: n.Hwmon}, cfg.MaxFanDuty)})
+		core.ActuatorBinding{Actuator: &core.RetryActuator{
+			Inner: core.NewFanActuator(
+				&core.SysfsFanPort{FS: n.FS, Chip: n.Hwmon}, cfg.MaxFanDuty),
+			R: retrier,
+		}})
 	if err != nil {
 		return err
 	}
-	act, err := core.NewDVFSActuator(&core.SysfsFreqPort{FS: n.FS, Paths: n.Cpufreq})
+	act, err := core.NewDVFSActuator(&core.RetryFreqPort{
+		Port: &core.SysfsFreqPort{FS: n.FS, Paths: n.Cpufreq}, R: retrier})
 	if err != nil {
 		return err
 	}
@@ -129,6 +182,10 @@ func run(o options, out io.Writer) error {
 	n.Fan.InstrumentMetrics(reg)
 	n.Chip.InstrumentMetrics(reg)
 	n.BMC.InstrumentMetrics(reg)
+	retrier.InstrumentMetrics(reg)
+	if plane != nil {
+		plane.InstrumentMetrics(reg)
+	}
 	stepSeconds := reg.NewHistogram("thermctl_daemon_step_seconds",
 		"wall-clock latency of one daemon control-loop step", nil)
 	steps := reg.NewCounter("thermctl_daemon_steps_total",
@@ -177,6 +234,9 @@ func run(o options, out io.Writer) error {
 		}
 		begin := metrics.Now()
 		n.Step(dt)
+		if plane != nil {
+			plane.OnStep(n.Elapsed())
+		}
 		u.OnStep(n.Elapsed())
 		stepSeconds.ObserveSince(begin)
 		steps.Inc()
@@ -196,5 +256,11 @@ func run(o options, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "\nfinal: die %.2f degC, duty %.1f%%, %.1f GHz; avg power %.2f W; %d freq transitions\n",
 		n.TrueDieC(), n.Fan.Duty(), n.CPU.FreqGHz(), n.Meter.AverageW(), n.CPU.Transitions())
+	if plane != nil {
+		fmt.Fprintf(out, "fault timeline:\n%s", plane.Timeline())
+		fmt.Fprintf(out, "controller errors: fan %d, dvfs %d; fail-safe: fan %d, dvfs %d edges\n",
+			fan.Errors(), dvfs.Errors(),
+			len(fan.FailSafeEvents()), len(dvfs.FailSafeEvents()))
+	}
 	return nil
 }

@@ -1,11 +1,14 @@
 // Command thermlint is the repository's domain-aware static-analysis
-// gate. It runs six analyzers over the module:
+// gate. It runs seven analyzers over the module:
 //
 //	determinism   — no wall-clock, global math/rand or map-ordered
 //	                effects inside the simulation core
 //	onstepblock   — no blocking calls reachable from Controller.OnStep
 //	actuatorerr   — no silently dropped actuator/i2c/hwmon/IPMI write
 //	                errors, including the `_ =` idiom
+//	errswallow    — no discarded errors (`_ = err`, bare
+//	                `if err != nil { return }`) in Step/OnStep-reachable
+//	                code; count, escalate, or propagate instead
 //	mutexcallback — no user-supplied callbacks invoked under a sync
 //	                mutex
 //	shardsafe     — no runtime-mutable package-level state in the
@@ -34,6 +37,7 @@ import (
 	"thermctl/internal/lint"
 	"thermctl/internal/lint/actuatorerr"
 	"thermctl/internal/lint/determinism"
+	"thermctl/internal/lint/errswallow"
 	"thermctl/internal/lint/metricsafe"
 	"thermctl/internal/lint/mutexcallback"
 	"thermctl/internal/lint/onstepblock"
@@ -43,6 +47,7 @@ import (
 var allAnalyzers = []*lint.Analyzer{
 	actuatorerr.Analyzer,
 	determinism.Analyzer,
+	errswallow.Analyzer,
 	metricsafe.Analyzer,
 	mutexcallback.Analyzer,
 	onstepblock.Analyzer,

@@ -127,9 +127,14 @@ func NewChip(temp *sensor.Sensor, f *fan.Fan) *Chip {
 	})
 
 	// Measurement registers refresh on read, like the real part's
-	// round-robin monitoring loop.
+	// round-robin monitoring loop. A failed conversion (sensor dropout
+	// fault) leaves the register holding its last value, as real
+	// silicon's measurement latch does.
 	c.rf.OnRead(RegRemote1Temp, func() uint8 {
-		t := c.temp.Read()
+		t, err := c.temp.ReadChecked()
+		if err != nil {
+			return c.rf.Get(RegRemote1Temp)
+		}
 		if t < -128 {
 			t = -128
 		}
@@ -201,22 +206,27 @@ func (c *Chip) InstrumentMetrics(reg *metrics.Registry, labels ...metrics.Label)
 func (c *Chip) Step(time.Duration) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	// A failed conversion (sensor dropout fault) freezes the monitoring
+	// cycle: the chip holds the last commanded duty and the last alarm
+	// condition rather than acting on garbage.
 	if !c.manual() {
-		t := c.temp.Read()
-		tmin := float64(int8(c.rf.Get(RegTmin1)))
-		trange := float64(c.rf.Get(RegPWM1Trange))
-		minDuty := regToDuty(c.rf.Get(RegPWM1MinDuty))
-		c.fan.SetDuty(StaticCurve(t, tmin, trange, minDuty))
+		if t, err := c.temp.ReadChecked(); err == nil {
+			tmin := float64(int8(c.rf.Get(RegTmin1)))
+			trange := float64(c.rf.Get(RegPWM1Trange))
+			minDuty := regToDuty(c.rf.Get(RegPWM1MinDuty))
+			c.fan.SetDuty(StaticCurve(t, tmin, trange, minDuty))
+		}
 	}
 	c.rf.Set(RegPWM1Duty, dutyToReg(c.fan.Duty()))
 
 	// Limit monitoring: latch the out-of-limits bit.
-	t := c.temp.Read()
-	lo := float64(int8(c.rf.Get(RegR1LowLimit)))
-	hi := float64(int8(c.rf.Get(RegR1HighLimit)))
-	c.alarmCond = t < lo || t > hi
-	if c.alarmCond {
-		c.alarmLatched = true
+	if t, err := c.temp.ReadChecked(); err == nil {
+		lo := float64(int8(c.rf.Get(RegR1LowLimit)))
+		hi := float64(int8(c.rf.Get(RegR1HighLimit)))
+		c.alarmCond = t < lo || t > hi
+		if c.alarmCond {
+			c.alarmLatched = true
+		}
 	}
 }
 

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"runtime"
 	"testing"
+	"time"
 
+	"thermctl/internal/faults"
 	"thermctl/internal/metrics"
 	"thermctl/internal/rack"
 	"thermctl/internal/workload"
@@ -64,6 +66,47 @@ func BenchmarkClusterStep(b *testing.B) {
 				b.ReportMetric(float64(nodes)*float64(b.N)/b.Elapsed().Seconds(), "node-steps/s")
 			})
 		}
+	}
+}
+
+// BenchmarkClusterStepFaults is the fault-plane twin of
+// BenchmarkClusterStep at the 64-node scale: every node carries an
+// attached injector and the plane runs in the serial controller phase,
+// but the only scheduled episode lies far beyond the bench horizon, so
+// no fault is ever active. Comparing nodes=64 sub-benchmarks against
+// BenchmarkClusterStep is the idle cost of the resilience hooks; the
+// acceptance bar is within 5% of the uninstrumented baseline.
+func BenchmarkClusterStepFaults(b *testing.B) {
+	const nodes = 64
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("nodes=%d/workers=%d", nodes, workers), func(b *testing.B) {
+			c := benchCluster(b, nodes, workers)
+			defer c.Close()
+			targets := make([]string, nodes)
+			for i, n := range c.Nodes {
+				targets[i] = n.Name
+			}
+			var schedules []faults.Schedule
+			for _, name := range targets {
+				schedules = append(schedules, faults.Schedule{
+					Target: name,
+					Episodes: []faults.Episode{{
+						Kind:     faults.SensorDropout,
+						Start:    faults.Dur(1000 * time.Hour),
+						Duration: faults.Dur(time.Hour),
+					}},
+				})
+			}
+			if _, err := c.ApplyFaults(faults.Plan{Name: "idle", Schedules: schedules}, 1); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Step()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(nodes)*float64(b.N)/b.Elapsed().Seconds(), "node-steps/s")
+		})
 	}
 }
 

@@ -1,0 +1,46 @@
+package cluster
+
+import (
+	"fmt"
+
+	"thermctl/internal/faults"
+	"thermctl/internal/rng"
+)
+
+// faultStream is the rng stream index of a node's fault-injection draws,
+// derived from the node's position so the stream is disjoint from the
+// per-node noise streams (which are seeded from rng.Mix(seed, i)).
+const faultStream = 0xfa170000
+
+// ApplyFaults builds a fault plane for plan, registers it as the first
+// controller (so devices see the fault state of a step's boundary before
+// the control daemons sample), and subscribes every node whose name
+// matches a schedule target. Each node's bus draws its probabilistic
+// faults from its own rng stream derived from seed, keeping the fault
+// plane byte-identical across worker counts.
+//
+// Call after New and before attaching control daemons; registration
+// order is invocation order.
+func (c *Cluster) ApplyFaults(plan faults.Plan, seed uint64) (*faults.Plane, error) {
+	for _, sch := range plan.Schedules {
+		found := false
+		for _, n := range c.Nodes {
+			if n.Name == sch.Target {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("cluster: fault plan %q targets unknown node %q", plan.Name, sch.Target)
+		}
+	}
+	plane, err := faults.NewPlane(plan)
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range c.Nodes {
+		n.AttachFaults(plane.Injector(n.Name), rng.New(rng.Mix(seed, faultStream+uint64(i))))
+	}
+	c.AddController(plane)
+	return plane, nil
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 	"time"
 
 	"thermctl/internal/core/ctlarray"
@@ -24,6 +25,9 @@ type Config struct {
 	SamplePeriod time.Duration
 	// Window sizes the two-level history (defaults: 4 and 5).
 	Window window.Config
+	// FailSafe parameterizes the consecutive-error escalation policy;
+	// zero fields take the defaults (see FailSafeConfig).
+	FailSafe FailSafeConfig
 	// MaxLeadC bounds how far (in °C-equivalent cells) the integrated
 	// index may run ahead of or behind the absolute-temperature anchor
 	// c·(T−Tmin). The index update is an integrator: on a large load
@@ -45,6 +49,7 @@ func DefaultConfig(pp int) Config {
 		TmaxC:        82,
 		SamplePeriod: 250 * time.Millisecond,
 		Window:       window.Default(),
+		FailSafe:     DefaultFailSafeConfig(),
 		MaxLeadC:     7,
 	}
 }
@@ -60,6 +65,9 @@ type boundActuator struct {
 	// sustained drift is not integrated once per round across the whole
 	// FIFO span.
 	l2Cooldown int
+	// fsRetry marks a fail-safe escalation whose Apply has not yet
+	// succeeded; it is retried on every subsequent sample.
+	fsRetry bool
 }
 
 // Controller is the unified dynamic thermal controller of §3.2: one
@@ -72,9 +80,22 @@ type Controller struct {
 	win       *window.Window
 	acts      []*boundActuator
 	next      time.Duration
-	errs      uint64
 	anchor    bool
 	holdFloor bool
+
+	// errs is atomic: daemons read Errors()/Status() from their -listen
+	// goroutines while OnStep writes from the control loop.
+	errs atomic.Uint64
+
+	// fail-safe degradation state (see FailSafeConfig). Read and
+	// actuation failures are counted separately: reads fail once per
+	// sample, actuations only on rounds that move an index, and a run
+	// of either kind must escalate.
+	consecReadErrs  int
+	consecApplyErrs int
+	cleanSamples    int
+	failSafe        bool
+	fsEvents        []FailSafeEvent
 	// mt holds the optional metric handles (see InstrumentMetrics in
 	// metrics.go); every handle is nil-safe.
 	mt controllerMetrics
@@ -108,6 +129,7 @@ func NewController(cfg Config, read TempReader, bindings ...ActuatorBinding) (*C
 	if len(bindings) == 0 {
 		return nil, fmt.Errorf("core: controller needs at least one actuator")
 	}
+	cfg.FailSafe = cfg.FailSafe.withDefaults()
 	c := &Controller{
 		cfg:  cfg,
 		read: read,
@@ -140,8 +162,20 @@ func NewController(cfg Config, read TempReader, bindings ...ActuatorBinding) (*C
 // classification, diagnostics).
 func (c *Controller) Window() *window.Window { return c.win }
 
-// Errors returns the count of failed sensor reads or actuations.
-func (c *Controller) Errors() uint64 { return c.errs }
+// Errors returns the count of failed sensor reads or actuations. Safe
+// to call concurrently with the control loop.
+func (c *Controller) Errors() uint64 { return c.errs.Load() }
+
+// FailSafe reports whether the fail-safe escalation is currently
+// holding every actuator at its most effective mode.
+func (c *Controller) FailSafe() bool { return c.failSafe }
+
+// FailSafeEvents returns a copy of the escalation/recovery event log.
+func (c *Controller) FailSafeEvents() []FailSafeEvent {
+	out := make([]FailSafeEvent, len(c.fsEvents))
+	copy(out, c.fsEvents)
+	return out
+}
 
 // Moves returns the number of mode changes applied to actuator i.
 func (c *Controller) Moves(i int) uint64 { return c.acts[i].moves }
@@ -175,6 +209,9 @@ type Status struct {
 	Behavior string
 	// HoldFloor reports whether downward moves are being suppressed.
 	HoldFloor bool
+	// FailSafe reports whether the consecutive-error escalation is
+	// holding every actuator at its most effective mode.
+	FailSafe bool
 	// Errors is the cumulative error count.
 	Errors uint64
 	// Actuators lists per-actuator state.
@@ -191,7 +228,8 @@ func (c *Controller) Status() Status {
 		DeltaL2:   c.win.DeltaL2(),
 		Behavior:  c.win.Classify(window.DefaultClassify()).String(),
 		HoldFloor: c.holdFloor,
-		Errors:    c.errs,
+		FailSafe:  c.failSafe,
+		Errors:    c.errs.Load(),
 	}
 	for _, ba := range c.acts {
 		st.Actuators = append(st.Actuators, ActuatorStatus{
@@ -208,6 +246,9 @@ func (c *Controller) Status() Status {
 func (s Status) String() string {
 	out := fmt.Sprintf("pp=%d avg=%.2fC dL1=%.2f dL2=%.2f behavior=%s hold=%v errs=%d",
 		s.Pp, s.AvgC, s.DeltaL1, s.DeltaL2, s.Behavior, s.HoldFloor, s.Errors)
+	if s.FailSafe {
+		out += " FAILSAFE"
+	}
 	for _, a := range s.Actuators {
 		out += fmt.Sprintf(" %s[idx=%d mode=%d moves=%d]", a.Name, a.Index, a.Mode, a.Moves)
 	}
@@ -225,6 +266,13 @@ func (c *Controller) SetHoldFloor(hold bool) {
 
 // OnStep samples and, on each completed window round, updates every
 // actuator. Call it once per simulation step with the current time.
+//
+// Error handling is the fail-safe degradation policy: a failed read (or
+// actuation) is counted, and EscalateErrors consecutive failures drive
+// every actuator to its most effective mode — a blind controller must
+// cool maximally, not skip rounds while the die cooks. The escalation
+// releases after RecoverSamples consecutive clean samples, after which
+// the history window has fresh data and normal control resumes.
 func (c *Controller) OnStep(now time.Duration) {
 	if now < c.next {
 		return
@@ -232,8 +280,28 @@ func (c *Controller) OnStep(now time.Duration) {
 	c.next += c.cfg.SamplePeriod
 	t, err := c.read()
 	if err != nil {
-		c.errs++
+		c.errs.Add(1)
 		c.mt.errors.Inc()
+		c.cleanSamples = 0
+		c.consecReadErrs++
+		if c.consecReadErrs >= c.cfg.FailSafe.EscalateErrors {
+			c.escalate(now)
+		}
+		if c.failSafe {
+			c.applyFailSafe()
+		}
+		return
+	}
+	c.consecReadErrs = 0
+	if c.failSafe {
+		// Hold the escalated modes while re-qualifying the sensor; keep
+		// the window warm so control resumes from fresh history.
+		c.applyFailSafe()
+		c.cleanSamples++
+		if c.cleanSamples >= c.cfg.FailSafe.RecoverSamples && !c.fsPending() {
+			c.release(now)
+		}
+		c.win.Add(t)
 		return
 	}
 	if !c.win.Add(t) {
@@ -248,13 +316,71 @@ func (c *Controller) OnStep(now time.Duration) {
 		avg := c.win.Avg()
 		for _, ba := range c.acts {
 			ba.idx = ba.arr.Clamp(int(math.Round(ba.coef * (avg - c.cfg.TminC))))
-			c.apply(ba)
+			c.apply(now, ba)
 		}
 		return
 	}
 	for _, ba := range c.acts {
-		c.decide(ba)
+		c.decide(now, ba)
 	}
+}
+
+// escalate enters the fail-safe hold: every actuator is driven to its
+// most effective mode until the escalation releases.
+func (c *Controller) escalate(now time.Duration) {
+	if c.failSafe || c.cfg.FailSafe.Disable {
+		return
+	}
+	c.failSafe = true
+	c.cleanSamples = 0
+	c.fsEvents = append(c.fsEvents, FailSafeEvent{At: now, Engaged: true})
+	c.mt.escalations.Inc()
+	c.mt.failSafe.SetBool(true)
+	for _, ba := range c.acts {
+		ba.idx = ba.arr.Len() - 1
+		ba.fsRetry = true
+	}
+}
+
+// fsPending reports whether any escalated Apply has not landed yet.
+func (c *Controller) fsPending() bool {
+	for _, ba := range c.acts {
+		if ba.fsRetry {
+			return true
+		}
+	}
+	return false
+}
+
+// applyFailSafe drives every actuator whose escalation has not stuck yet
+// to its most effective mode, retrying on later samples until the write
+// lands (the bus may be failing too).
+func (c *Controller) applyFailSafe() {
+	for _, ba := range c.acts {
+		if !ba.fsRetry {
+			continue
+		}
+		if err := ba.act.Apply(ba.arr.Mode(ba.idx)); err != nil {
+			c.errs.Add(1)
+			c.mt.errors.Inc()
+			continue
+		}
+		ba.fsRetry = false
+		ba.moves++
+		c.mt.modeTransitions.Inc()
+	}
+}
+
+// release ends the fail-safe hold: the anti-windup band around the
+// fresh window average pulls the index back to a proportionate mode on
+// the following rounds.
+func (c *Controller) release(now time.Duration) {
+	c.failSafe = false
+	c.cleanSamples = 0
+	c.consecApplyErrs = 0
+	c.fsEvents = append(c.fsEvents, FailSafeEvent{At: now, Engaged: false})
+	c.mt.recoveries.Inc()
+	c.mt.failSafe.SetBool(false)
 }
 
 // decide performs the paper's index update for one actuator: try
@@ -262,7 +388,7 @@ func (c *Controller) OnStep(now time.Duration) {
 // (throttled to once per FIFO span so sustained drift is not multiply
 // counted). The result is then held inside the anti-windup lead band
 // around the absolute anchor c·(T−Tmin).
-func (c *Controller) decide(ba *boundActuator) {
+func (c *Controller) decide(now time.Duration, ba *boundActuator) {
 	if ba.l2Cooldown > 0 {
 		ba.l2Cooldown--
 	}
@@ -299,15 +425,20 @@ func (c *Controller) decide(ba *boundActuator) {
 	if usedL2 {
 		ba.l2Cooldown = c.cfg.Window.L2Size
 	}
-	c.apply(ba)
+	c.apply(now, ba)
 }
 
-func (c *Controller) apply(ba *boundActuator) {
+func (c *Controller) apply(now time.Duration, ba *boundActuator) {
 	if err := ba.act.Apply(ba.arr.Mode(ba.idx)); err != nil {
-		c.errs++
+		c.errs.Add(1)
 		c.mt.errors.Inc()
+		c.consecApplyErrs++
+		if c.consecApplyErrs >= c.cfg.FailSafe.EscalateErrors {
+			c.escalate(now)
+		}
 		return
 	}
+	c.consecApplyErrs = 0
 	ba.moves++
 	c.mt.modeTransitions.Inc()
 }

@@ -249,12 +249,19 @@ func TestSensorErrorCounted(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	drive(c, 8)
-	if c.Errors() != 8 {
-		t.Errorf("Errors = %d, want 8", c.Errors())
+	drive(c, 7)
+	if c.Errors() != 7 {
+		t.Errorf("Errors = %d, want 7", c.Errors())
 	}
 	if len(fa.applied) != 0 {
-		t.Error("actuator moved despite failed reads")
+		t.Error("actuator moved before the escalation threshold")
+	}
+	c.OnStep(8 * 250 * time.Millisecond)
+	if !c.FailSafe() {
+		t.Error("8 consecutive failed reads did not engage the fail-safe")
+	}
+	if len(fa.applied) != 1 || fa.applied[0] != fa.modes-1 {
+		t.Errorf("escalation applied %v, want single most-effective mode %d", fa.applied, fa.modes-1)
 	}
 }
 

@@ -24,6 +24,11 @@ type controllerMetrics struct {
 	// holdFloor is 1 while downward index moves are suppressed by the
 	// hybrid coordinator.
 	holdFloor *metrics.Gauge
+	// escalations/recoveries count fail-safe edges; failSafe is 1 while
+	// the escalation holds the actuators at their most effective mode.
+	escalations *metrics.Counter
+	recoveries  *metrics.Counter
+	failSafe    *metrics.Gauge
 }
 
 // InstrumentMetrics registers the controller's instruments on reg with
@@ -42,6 +47,12 @@ func (c *Controller) InstrumentMetrics(reg *metrics.Registry, labels ...metrics.
 			"failed sensor reads or actuator writes", labels...),
 		holdFloor: reg.NewGauge("thermctl_controller_hold_floor",
 			"1 while downward fan moves are held by the hybrid coordinator", labels...),
+		escalations: reg.NewCounter("thermctl_controller_failsafe_escalations_total",
+			"fail-safe escalations after consecutive read or actuation failures", labels...),
+		recoveries: reg.NewCounter("thermctl_controller_failsafe_recoveries_total",
+			"fail-safe releases after consecutive clean samples", labels...),
+		failSafe: reg.NewGauge("thermctl_controller_failsafe",
+			"1 while the fail-safe holds every actuator at its most effective mode", labels...),
 	}
 }
 
@@ -57,6 +68,11 @@ type tdvfsMetrics struct {
 	errors *metrics.Counter
 	// engaged is 1 while the daemon holds the CPU below nominal.
 	engaged *metrics.Gauge
+	// escalations/recoveries count fail-safe edges; failSafe is 1 while
+	// the escalation holds the CPU at the frequency floor.
+	escalations *metrics.Counter
+	recoveries  *metrics.Counter
+	failSafe    *metrics.Gauge
 }
 
 // InstrumentMetrics registers the daemon's instruments on reg with the
@@ -73,6 +89,12 @@ func (d *TDVFS) InstrumentMetrics(reg *metrics.Registry, labels ...metrics.Label
 			"failed sensor reads or frequency writes", labels...),
 		engaged: reg.NewGauge("thermctl_tdvfs_engaged",
 			"1 while the CPU is held below its nominal frequency", labels...),
+		escalations: reg.NewCounter("thermctl_tdvfs_failsafe_escalations_total",
+			"fail-safe escalations after consecutive read or actuation failures", labels...),
+		recoveries: reg.NewCounter("thermctl_tdvfs_failsafe_recoveries_total",
+			"fail-safe releases after consecutive clean samples", labels...),
+		failSafe: reg.NewGauge("thermctl_tdvfs_failsafe",
+			"1 while the fail-safe holds the CPU at the frequency floor", labels...),
 	}
 }
 

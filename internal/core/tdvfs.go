@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"thermctl/internal/core/ctlarray"
@@ -61,6 +62,10 @@ type TDVFSConfig struct {
 	// trend — a creeping rise too slow for trend detection must not
 	// reach the hardware's thermal-throttle point. Default 8 °C.
 	EmergencyMarginC float64
+	// FailSafe parameterizes the consecutive-error escalation policy;
+	// zero fields take the defaults (see FailSafeConfig). The daemon's
+	// escalation target is its frequency floor (the slowest P-state).
+	FailSafe FailSafeConfig
 }
 
 // DefaultTDVFSConfig returns the paper's tDVFS parameters.
@@ -74,6 +79,7 @@ func DefaultTDVFSConfig(pp int) TDVFSConfig {
 		N:                10,
 		TrendEpsilonC:    0.35,
 		EmergencyMarginC: 8,
+		FailSafe:         DefaultFailSafeConfig(),
 	}
 }
 
@@ -91,9 +97,22 @@ type TDVFS struct {
 	curMode  int // physical mode currently applied (0 = nominal frequency)
 	next     time.Duration
 	cooldown int
-	errs     uint64
 	downs    uint64
 	ups      uint64
+
+	// errs is atomic: daemons read Errors() from their -listen goroutines
+	// while OnStep writes from the control loop.
+	errs atomic.Uint64
+
+	// fail-safe degradation state, mirroring the unified controller's
+	// (see FailSafeConfig): fsRetry marks an escalation whose Apply has
+	// not landed yet.
+	consecReadErrs  int
+	consecApplyErrs int
+	cleanSamples    int
+	failSafe        bool
+	fsRetry         bool
+	fsEvents        []FailSafeEvent
 
 	// trigger bookkeeping for the experiments: when the first
 	// scale-down happened.
@@ -128,6 +147,7 @@ func NewTDVFS(cfg TDVFSConfig, read TempReader, act *DVFSActuator) (*TDVFS, erro
 	if cfg.EmergencyMarginC == 0 {
 		cfg.EmergencyMarginC = 8
 	}
+	cfg.FailSafe = cfg.FailSafe.withDefaults()
 	arr, err := ctlarray.New(cfg.N, act.NumModes(), cfg.Pp)
 	if err != nil {
 		return nil, err
@@ -148,8 +168,20 @@ func (d *TDVFS) Downscales() uint64 { return d.downs }
 // Upscales returns the number of restore decisions taken.
 func (d *TDVFS) Upscales() uint64 { return d.ups }
 
-// Errors returns the count of failed reads or actuations.
-func (d *TDVFS) Errors() uint64 { return d.errs }
+// Errors returns the count of failed reads or actuations. Safe to call
+// concurrently with the control loop.
+func (d *TDVFS) Errors() uint64 { return d.errs.Load() }
+
+// FailSafe reports whether the fail-safe escalation is currently
+// holding the CPU at its frequency floor.
+func (d *TDVFS) FailSafe() bool { return d.failSafe }
+
+// FailSafeEvents returns a copy of the escalation/recovery event log.
+func (d *TDVFS) FailSafeEvents() []FailSafeEvent {
+	out := make([]FailSafeEvent, len(d.fsEvents))
+	copy(out, d.fsEvents)
+	return out
+}
 
 // TriggeredAt returns when the first scale-down happened and whether
 // one happened at all — the coordination observable of Figure 10.
@@ -165,6 +197,12 @@ func (d *TDVFS) Engaged() bool { return d.curMode > 0 }
 
 // OnStep samples and decides. Implements the cluster Controller
 // interface.
+//
+// Error handling is the fail-safe degradation policy shared with the
+// unified controller: EscalateErrors consecutive failed reads or
+// actuations drive the CPU to its frequency floor (the most effective
+// in-band mode) rather than silently skipping rounds, and control
+// resumes after RecoverSamples consecutive clean samples.
 func (d *TDVFS) OnStep(now time.Duration) {
 	if now < d.next {
 		return
@@ -172,8 +210,28 @@ func (d *TDVFS) OnStep(now time.Duration) {
 	d.next += d.cfg.SamplePeriod
 	t, err := d.read()
 	if err != nil {
-		d.errs++
+		d.errs.Add(1)
 		d.mt.errors.Inc()
+		d.cleanSamples = 0
+		d.consecReadErrs++
+		if d.consecReadErrs >= d.cfg.FailSafe.EscalateErrors {
+			d.escalate(now)
+		}
+		if d.failSafe {
+			d.applyFailSafe()
+		}
+		return
+	}
+	d.consecReadErrs = 0
+	if d.failSafe {
+		// Hold the frequency floor while re-qualifying the sensor; keep
+		// the window warm so control resumes from fresh history.
+		d.applyFailSafe()
+		d.cleanSamples++
+		if d.cleanSamples >= d.cfg.FailSafe.RecoverSamples && !d.fsRetry {
+			d.release(now)
+		}
+		d.win.Add(t)
 		return
 	}
 	if !d.win.Add(t) {
@@ -206,10 +264,10 @@ func (d *TDVFS) OnStep(now time.Duration) {
 			return // already at the most effective mode
 		}
 		if err := d.act.Apply(next); err != nil {
-			d.errs++
-			d.mt.errors.Inc()
+			d.applyErr(now)
 			return
 		}
+		d.consecApplyErrs = 0
 		d.curMode = next
 		d.downs++
 		d.mt.downscales.Inc()
@@ -225,14 +283,70 @@ func (d *TDVFS) OnStep(now time.Duration) {
 		// frequency directly, as the paper's Figures 8 and 10 show
 		// (2.2→2.4 and 2.0→2.4 in one step).
 		if err := d.act.Apply(0); err != nil {
-			d.errs++
-			d.mt.errors.Inc()
+			d.applyErr(now)
 			return
 		}
+		d.consecApplyErrs = 0
 		d.curMode = 0
 		d.ups++
 		d.mt.upscales.Inc()
 		d.mt.engaged.SetBool(false)
 		d.cooldown = d.cfg.CooldownRounds
 	}
+}
+
+// applyErr records a failed actuation and escalates on a run of them.
+func (d *TDVFS) applyErr(now time.Duration) {
+	d.errs.Add(1)
+	d.mt.errors.Inc()
+	d.consecApplyErrs++
+	if d.consecApplyErrs >= d.cfg.FailSafe.EscalateErrors {
+		d.escalate(now)
+	}
+}
+
+// escalate enters the fail-safe hold: the CPU is driven to its
+// frequency floor until the escalation releases.
+func (d *TDVFS) escalate(now time.Duration) {
+	if d.failSafe || d.cfg.FailSafe.Disable {
+		return
+	}
+	d.failSafe = true
+	d.cleanSamples = 0
+	d.fsRetry = true
+	d.fsEvents = append(d.fsEvents, FailSafeEvent{At: now, Engaged: true})
+	d.mt.escalations.Inc()
+	d.mt.failSafe.SetBool(true)
+}
+
+// applyFailSafe drives the CPU to the frequency floor if the escalated
+// Apply has not landed yet, retrying on later samples until the write
+// sticks (the transport may be failing too). A landed floor sets
+// curMode, so Engaged() holds the hybrid fan floor throughout.
+func (d *TDVFS) applyFailSafe() {
+	if !d.fsRetry {
+		return
+	}
+	floor := d.act.NumModes() - 1
+	if err := d.act.Apply(floor); err != nil {
+		d.errs.Add(1)
+		d.mt.errors.Inc()
+		return
+	}
+	d.fsRetry = false
+	d.curMode = floor
+	d.mt.engaged.SetBool(floor > 0)
+}
+
+// release ends the fail-safe hold. The frequency stays at the floor;
+// the normal restore path (consistently below threshold − hysteresis)
+// brings it back to nominal once the cooldown elapses.
+func (d *TDVFS) release(now time.Duration) {
+	d.failSafe = false
+	d.cleanSamples = 0
+	d.consecApplyErrs = 0
+	d.cooldown = d.cfg.CooldownRounds
+	d.fsEvents = append(d.fsEvents, FailSafeEvent{At: now, Engaged: false})
+	d.mt.recoveries.Inc()
+	d.mt.failSafe.SetBool(false)
 }

@@ -200,3 +200,32 @@ func BenchmarkPower(b *testing.B) {
 		c.Power(50)
 	}
 }
+
+// TestConcurrentActuationAndPower reproduces the live daemon's shape:
+// the control loop switches P-states and throttle while the BMC's
+// server goroutine samples Power out-of-band. Run under -race.
+func TestConcurrentActuationAndPower(t *testing.T) {
+	c := New(DefaultConfig())
+	c.SetUtilization(0.8)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 5000; i++ {
+			c.SetPState(i % len(c.Table()))
+			c.SetThrottle(0.5 + 0.5*float64(i%2))
+			c.SetIdleFactor(float64(i%3) / 2)
+			c.Step(time.Millisecond)
+		}
+	}()
+	for i := 0; i < 5000; i++ {
+		if p := c.Power(50); p <= 0 || math.IsNaN(p) {
+			t.Fatalf("Power = %v mid-actuation", p)
+		}
+		c.FreqGHz()
+		c.Utilization()
+	}
+	<-done
+	if c.Transitions() == 0 {
+		t.Error("no transitions recorded")
+	}
+}

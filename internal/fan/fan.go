@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"thermctl/internal/faults"
 	"thermctl/internal/metrics"
 )
 
@@ -59,6 +60,10 @@ type Fan struct {
 	duty   float64 // commanded duty, percent [0,100]
 	rpm    float64 // current (lagged) speed
 	failed bool
+
+	// inj, when attached, drives bearing-degradation and hard-stall
+	// fault episodes on top of the explicit SetFailed knob.
+	inj *faults.Injector
 
 	// dutyTransitions is the optional nil-safe metric counting commanded
 	// duty changes (see InstrumentMetrics).
@@ -122,14 +127,29 @@ func (f *Fan) Failed() bool {
 	return f.failed
 }
 
+// AttachInjector subscribes the fan to a fault plane: a FanStalled state
+// seizes the rotor like SetFailed, and FanDegrade caps the reached speed
+// at that fraction of the commanded target (worn bearings). Wiring time
+// only.
+func (f *Fan) AttachInjector(inj *faults.Injector) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.inj = inj
+}
+
 // targetRPM is the steady-state speed for the commanded duty.
 // Called with f.mu held.
 func (f *Fan) targetRPM() float64 {
-	if f.failed || f.duty <= 0 {
+	st := f.inj.State()
+	if f.failed || st.FanStalled || f.duty <= 0 {
 		return 0
 	}
 	frac := f.cfg.FloorFrac + (1-f.cfg.FloorFrac)*f.duty/100
-	return f.cfg.MaxRPM * frac
+	rpm := f.cfg.MaxRPM * frac
+	if st.FanDegrade > 0 {
+		rpm *= st.FanDegrade
+	}
+	return rpm
 }
 
 // Step advances the rotor dynamics by dt.

@@ -15,6 +15,7 @@ import (
 	"sort"
 	"sync"
 
+	"thermctl/internal/faults"
 	"thermctl/internal/rng"
 )
 
@@ -44,11 +45,14 @@ type Stats struct {
 // Bus is one i2c segment. Methods are safe for concurrent use: an i2c
 // bus is a shared medium and both the host driver and the BMC use it.
 type Bus struct {
-	mu        sync.Mutex
-	devices   map[uint8]Device
-	stats     Stats
-	faultRate float64
-	faults    *rng.Source
+	mu      sync.Mutex
+	devices map[uint8]Device
+	stats   Stats
+	// inj supplies the current fault state (transient bus faults and NAK
+	// bursts); injSrc is the bus's own stream for the probabilistic
+	// draws. Both nil by default: no injection.
+	inj    *faults.Injector
+	injSrc *rng.Source
 }
 
 // NewBus returns an empty bus.
@@ -81,22 +85,50 @@ func (b *Bus) Detach(addr uint8) {
 // SetFaultInjection makes a fraction rate of transactions fail with
 // ErrBusFault, drawing from the given stream. rate 0 (or a nil stream)
 // disables injection.
+//
+// Deprecated: the knob is kept for existing tests only. It is a shim
+// over AttachInjector with a pinned faults.Static state; scheduled
+// campaigns should attach a faults.Plane injector instead.
 func (b *Bus) SetFaultInjection(rate float64, src *rng.Source) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.faultRate = rate
-	b.faults = src
+	if rate <= 0 {
+		b.inj = nil
+	} else {
+		b.inj = faults.Static(faults.State{I2CFaultRate: rate})
+	}
+	b.injSrc = src
 }
 
-func (b *Bus) injectLocked() bool {
-	if b.faultRate <= 0 || b.faults == nil {
-		return false
+// AttachInjector subscribes the bus to a fault plane: transactions fail
+// with ErrBusFault at the injector's I2CFaultRate and NAK at its
+// I2CNAKRate, drawn from src (the bus's own stream — sharing it would
+// perturb other consumers). Wiring time only.
+func (b *Bus) AttachInjector(inj *faults.Injector, src *rng.Source) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.inj = inj
+	b.injSrc = src
+}
+
+// faultLocked draws the injected failure for one transaction, if any.
+// Called with b.mu held. Each enabled failure mode consumes exactly one
+// draw only while its rate is non-zero, so attaching an idle injector
+// never perturbs the stream.
+func (b *Bus) faultLocked() error {
+	if b.inj == nil || b.injSrc == nil {
+		return nil
 	}
-	if b.faults.Float64() < b.faultRate {
+	st := b.inj.State()
+	if st.I2CFaultRate > 0 && b.injSrc.Float64() < st.I2CFaultRate {
 		b.stats.Faults++
-		return true
+		return ErrBusFault
 	}
-	return false
+	if st.I2CNAKRate > 0 && b.injSrc.Float64() < st.I2CNAKRate {
+		b.stats.NACKs++
+		return fmt.Errorf("%w (injected)", ErrNACK)
+	}
+	return nil
 }
 
 // ReadByteData performs an SMBus "read byte data" transaction: write the
@@ -105,8 +137,8 @@ func (b *Bus) ReadByteData(addr, reg uint8) (uint8, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.stats.Reads++
-	if b.injectLocked() {
-		return 0, ErrBusFault
+	if err := b.faultLocked(); err != nil {
+		return 0, err
 	}
 	dev, ok := b.devices[addr]
 	if !ok {
@@ -121,8 +153,8 @@ func (b *Bus) WriteByteData(addr, reg, val uint8) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.stats.Writes++
-	if b.injectLocked() {
-		return ErrBusFault
+	if err := b.faultLocked(); err != nil {
+		return err
 	}
 	dev, ok := b.devices[addr]
 	if !ok {

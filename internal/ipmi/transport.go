@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // Server serves BMC requests over a stream listener (the RMCP-lite LAN
@@ -106,23 +107,42 @@ func readFrame(r io.Reader) ([]byte, error) {
 	return body, nil
 }
 
+// DefaultTimeout is the per-request deadline a dialed TCPClient starts
+// with. A BMC answers a sensor read in well under a second; a transport
+// that stays silent this long is wedged, and without a deadline the
+// caller (the control loop) would hang with it.
+const DefaultTimeout = 2 * time.Second
+
 // TCPClient is a Transport over one TCP connection. Safe for concurrent
 // use; requests are serialized on the connection.
 type TCPClient struct {
-	mu   sync.Mutex
-	conn net.Conn
+	mu      sync.Mutex
+	conn    net.Conn
+	timeout time.Duration
 }
 
-// Dial connects to an ipmi Server at addr.
+// Dial connects to an ipmi Server at addr. The client starts with
+// DefaultTimeout as its per-request deadline; see SetTimeout.
 func Dial(addr string) (*TCPClient, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("ipmi: dial: %w", err)
 	}
-	return &TCPClient{conn: conn}, nil
+	return &TCPClient{conn: conn, timeout: DefaultTimeout}, nil
 }
 
-// Send implements Transport.
+// SetTimeout changes the per-request deadline. Zero or negative disables
+// it (requests may block forever — the pre-deadline behaviour).
+func (c *TCPClient) SetTimeout(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.timeout = d
+}
+
+// Send implements Transport. The whole request — write plus response
+// read — runs under the per-request deadline; an expired deadline
+// surfaces as a timeout error and the connection is no longer usable
+// for framing (a late response would desynchronize the stream).
 func (c *TCPClient) Send(req Request) (Response, error) {
 	frame, err := EncodeRequest(req)
 	if err != nil {
@@ -130,6 +150,12 @@ func (c *TCPClient) Send(req Request) (Response, error) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.timeout > 0 {
+		if err := c.conn.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+			return Response{}, fmt.Errorf("ipmi: deadline: %w", err)
+		}
+		defer c.conn.SetDeadline(time.Time{})
+	}
 	if _, err := c.conn.Write(frame); err != nil {
 		return Response{}, fmt.Errorf("ipmi: send: %w", err)
 	}

@@ -44,6 +44,7 @@ var scopePrefixes = []string{
 	"internal/cstates",
 	"internal/experiment",
 	"internal/fan",
+	"internal/faults",
 	"internal/hotspot",
 	"internal/node",
 	"internal/power",

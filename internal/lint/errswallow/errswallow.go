@@ -1,0 +1,195 @@
+// Package errswallow forbids silently dropped errors on the control
+// hot path: in code reachable from a Step/OnStep method, an error must
+// be counted, escalated, or propagated — never discarded.
+//
+// The motivating bug is the controller's historical failure mode: a
+// sensor read error handled as `if err != nil { return }` skips the
+// round, and a sensor that fails permanently makes the controller skip
+// rounds forever while the die cooks. The resilience plane replaces
+// that with consecutive-error escalation; this analyzer keeps the
+// pattern from creeping back. Two shapes are flagged in Step-reachable
+// code:
+//
+//   - `_ = expr` where expr is an error — discarding an error value
+//     (typically `_ = act.Apply(m)` or `_ = err`);
+//   - `if err != nil { return }` whose body is exactly one bare return —
+//     the check-and-forget shape. Bodies that count, log, escalate, or
+//     `return err` are fine.
+//
+// Like the other hot-path analyzers, reachability is the intra-package
+// static call graph rooted at every Step/OnStep method; the chain is
+// reported for transitive hits. Deliberate drops are suppressed with
+// `//thermlint:allow errswallow -- reason`.
+package errswallow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"thermctl/internal/lint"
+)
+
+// Analyzer is the swallowed-error check.
+var Analyzer = &lint.Analyzer{
+	Name: "errswallow",
+	Doc:  "forbid discarding errors (`_ = err`, bare `if err != nil { return }`) in Step/OnStep-reachable code; count, escalate, or propagate instead",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+	for fn, fd := range decls {
+		if !isStepRoot(fn) {
+			continue
+		}
+		w := &walker{pass: pass, decls: decls, visited: map[*types.Func]bool{}}
+		w.walk(fn, fd, []string{methodLabel(fn)})
+	}
+	return nil
+}
+
+// isStepRoot reports whether fn is an entry point of the per-step hot
+// path: any method named Step or OnStep.
+func isStepRoot(fn *types.Func) bool {
+	if fn.Name() != "Step" && fn.Name() != "OnStep" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil
+}
+
+func methodLabel(fn *types.Func) string {
+	name := fn.FullName()
+	name = strings.ReplaceAll(name, "thermctl/internal/", "")
+	return strings.ReplaceAll(name, "thermctl/", "")
+}
+
+type walker struct {
+	pass    *lint.Pass
+	decls   map[*types.Func]*ast.FuncDecl
+	visited map[*types.Func]bool
+}
+
+// walk flags swallowed errors in fn's body and recurses into statically
+// resolvable same-package callees. chain is the call path from the Step
+// root, for diagnostics.
+func (w *walker) walk(fn *types.Func, fd *ast.FuncDecl, chain []string) {
+	if w.visited[fn] {
+		return
+	}
+	w.visited[fn] = true
+	via := ""
+	if len(chain) > 1 {
+		via = " (reached via " + strings.Join(chain, " → ") + ")"
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			w.checkAssign(n, via)
+		case *ast.IfStmt:
+			w.checkIf(n, via)
+		case *ast.CallExpr:
+			w.recurse(n, chain)
+		}
+		return true
+	})
+}
+
+// checkAssign flags `_ = expr` where expr is an error value.
+func (w *walker) checkAssign(as *ast.AssignStmt, via string) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return // x, _ := f() keeps a result; out of scope
+	}
+	for i, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			continue
+		}
+		if w.isError(as.Rhs[i]) {
+			w.pass.Reportf(as.Pos(),
+				"error discarded with a blank assignment in Step-reachable code%s; count it, escalate, or propagate", via)
+		}
+	}
+}
+
+// checkIf flags `if err != nil { return }` — an error nil-check whose
+// entire consequence is one bare return.
+func (w *walker) checkIf(ifs *ast.IfStmt, via string) {
+	cond, ok := ifs.Cond.(*ast.BinaryExpr)
+	if !ok || cond.Op != token.NEQ {
+		return
+	}
+	var errExpr ast.Expr
+	switch {
+	case isNil(cond.Y):
+		errExpr = cond.X
+	case isNil(cond.X):
+		errExpr = cond.Y
+	default:
+		return
+	}
+	if !w.isError(errExpr) {
+		return
+	}
+	if len(ifs.Body.List) != 1 {
+		return // the body does something with the error
+	}
+	ret, ok := ifs.Body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 0 {
+		return // propagating (`return err`) is handling
+	}
+	w.pass.Reportf(ifs.Pos(),
+		"error checked and dropped with a bare return in Step-reachable code%s; count it, escalate, or propagate", via)
+}
+
+func isNil(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// isError reports whether e's static type implements the builtin error
+// interface.
+func (w *walker) isError(e ast.Expr) bool {
+	tv, ok := w.pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	errIface, ok := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	return types.Implements(tv.Type, errIface)
+}
+
+// recurse follows a call into a same-package function declaration.
+func (w *walker) recurse(call *ast.CallExpr, chain []string) {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return
+	}
+	fn, ok := w.pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() != w.pass.Pkg {
+		return
+	}
+	if fd, ok := w.decls[fn]; ok {
+		w.walk(fn, fd, append(chain, fn.Name()))
+	}
+}

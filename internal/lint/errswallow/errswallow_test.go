@@ -1,0 +1,12 @@
+package errswallow_test
+
+import (
+	"testing"
+
+	"thermctl/internal/lint/errswallow"
+	"thermctl/internal/lint/linttest"
+)
+
+func TestErrswallow(t *testing.T) {
+	linttest.Run(t, "testdata/es", errswallow.Analyzer)
+}

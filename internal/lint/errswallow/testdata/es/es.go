@@ -1,0 +1,91 @@
+// Package es exercises the errswallow analyzer: errors on the
+// Step/OnStep hot path must be counted, escalated, or propagated, never
+// silently dropped.
+package es
+
+import (
+	"errors"
+	"time"
+)
+
+func read() (float64, error) { return 0, errors.New("dead") }
+func apply(m int) error      { return errors.New("nak") }
+
+type ctl struct {
+	errs   uint64
+	consec int
+}
+
+// OnStep with the two forbidden shapes.
+func (c *ctl) OnStep(now time.Duration) {
+	_, err := read()
+	if err != nil { // want `error checked and dropped with a bare return in Step-reachable code`
+		return
+	}
+	_ = apply(3) // want `error discarded with a blank assignment in Step-reachable code`
+}
+
+type counted struct {
+	errs uint64
+}
+
+// OnStep that counts before returning is the sanctioned shape.
+func (c *counted) OnStep(now time.Duration) {
+	if _, err := read(); err != nil {
+		c.errs++
+		return
+	}
+	if err := apply(1); err != nil {
+		c.errs++
+	}
+}
+
+type deep struct{ errs uint64 }
+
+// Step reaching the swallow through a helper reports the chain.
+func (d *deep) Step(dt time.Duration) {
+	d.helper()
+}
+
+func (d *deep) helper() {
+	if err := apply(2); err != nil { // want `error checked and dropped with a bare return in Step-reachable code \(reached via .*Step → helper\)`
+		return
+	}
+}
+
+type propagating struct{}
+
+// Step propagating the error upward is handling, not swallowing.
+func (p *propagating) Step(dt time.Duration) error {
+	if err := apply(0); err != nil {
+		return err
+	}
+	_, err := read()
+	return err
+}
+
+// notAStep is not reachable from any Step/OnStep root: cold-path code
+// may drop errors (other tooling owns that).
+func notAStep() {
+	_ = apply(9)
+	if err := apply(8); err != nil {
+		return
+	}
+}
+
+type nonError struct{ p *int }
+
+// OnStep with a non-error nil check: not the analyzer's business.
+func (n *nonError) OnStep(now time.Duration) {
+	if n.p != nil {
+		return
+	}
+}
+
+type allowed struct{}
+
+// OnStep with a deliberate, annotated drop is suppressed.
+func (a *allowed) OnStep(now time.Duration) {
+	//thermlint:allow errswallow -- fixture: best-effort side output
+	_ = apply(7)
+}

@@ -54,6 +54,7 @@ var scopePrefixes = []string{
 	"internal/cpufreq",
 	"internal/cstates",
 	"internal/fan",
+	"internal/faults",
 	"internal/hwmon",
 	"internal/i2c",
 	"internal/node",

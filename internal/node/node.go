@@ -25,6 +25,7 @@ import (
 	"thermctl/internal/cpufreq"
 	"thermctl/internal/cstates"
 	"thermctl/internal/fan"
+	"thermctl/internal/faults"
 	"thermctl/internal/hwmon"
 	"thermctl/internal/i2c"
 	"thermctl/internal/ipmi"
@@ -259,6 +260,17 @@ func New(cfg Config) (*Node, error) {
 	n.protectC = cfg.ProtectC
 	n.protectHystC = cfg.ProtectHystC
 	return n, nil
+}
+
+// AttachFaults subscribes the node's device models to a fault plane
+// injector: the sensor (stuck/dropout/spike), the i2c bus (transient
+// faults and NAK bursts, drawn from src — give the bus its own stream)
+// and the fan (bearing degradation and stall). Wiring time only, before
+// the first Step.
+func (n *Node) AttachFaults(inj *faults.Injector, src *rng.Source) {
+	n.Sensor.AttachInjector(inj)
+	n.Bus.AttachInjector(inj, src)
+	n.Fan.AttachInjector(inj)
 }
 
 // Protected reports whether hardware thermal protection is currently

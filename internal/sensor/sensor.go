@@ -10,10 +10,17 @@
 package sensor
 
 import (
+	"errors"
 	"math"
+	"sync/atomic"
 
+	"thermctl/internal/faults"
 	"thermctl/internal/rng"
 )
+
+// ErrDropout is returned by checked reads while a sensor-dropout fault
+// episode is active: the conversion failed and no fresh sample exists.
+var ErrDropout = errors.New("sensor: reading unavailable (dropout)")
 
 // Source supplies the true physical temperature, in °C.
 type Source interface {
@@ -59,6 +66,14 @@ type Sensor struct {
 	noise     *rng.Source
 	noiseBase uint64
 	tick      func() uint64
+
+	// inj, when attached, drives stuck/dropout/spike fault episodes.
+	inj *faults.Injector
+	// lastGood holds the Float64bits of the most recent successful
+	// sample; stuck episodes and unchecked reads during dropout replay
+	// it. Atomic because the BMC reads concurrently with the sim loop.
+	lastGood atomic.Uint64
+	haveGood atomic.Bool
 }
 
 // New returns a sensor reading src with cfg's error model, drawing noise
@@ -75,17 +90,57 @@ func New(cfg Config, src Source, noise *rng.Source) *Sensor {
 // one tick value return the same sample.
 func (s *Sensor) SetTickSource(fn func() uint64) { s.tick = fn }
 
+// AttachInjector subscribes the sensor to a fault plane. Wiring time
+// only; a nil injector (the default) means no faults.
+func (s *Sensor) AttachInjector(inj *faults.Injector) { s.inj = inj }
+
 // Read returns one temperature sample in °C, with offset, noise and
-// quantization applied.
+// quantization applied. It never fails: during a dropout episode it
+// replays the last good sample (a real register holds its last
+// conversion), so legacy consumers keep working. Fault-aware consumers
+// should use ReadChecked.
 func (s *Sensor) Read() float64 {
-	t := s.src.Temperature() + s.cfg.Offset
+	v, err := s.ReadChecked()
+	if err != nil {
+		if last, ok := s.lastGoodSample(); ok {
+			return last
+		}
+		return 0
+	}
+	return v
+}
+
+// ReadChecked returns one temperature sample, or an error while a
+// dropout fault episode is active. A stuck episode freezes the reading
+// at the last good sample without erroring.
+func (s *Sensor) ReadChecked() (float64, error) {
+	st := s.inj.State()
+	if st.SensorDropout {
+		return 0, ErrDropout
+	}
+	if st.SensorStuck {
+		if last, ok := s.lastGoodSample(); ok {
+			return last, nil
+		}
+	}
+	t := s.src.Temperature() + s.cfg.Offset + st.SensorSpikeC
 	if s.noise != nil && s.cfg.NoiseStd > 0 {
 		t += s.cfg.NoiseStd * s.drawNoise()
 	}
 	if s.cfg.Quantum > 0 {
 		t = math.Round(t/s.cfg.Quantum) * s.cfg.Quantum
 	}
-	return t
+	s.lastGood.Store(math.Float64bits(t))
+	s.haveGood.Store(true)
+	return t, nil
+}
+
+// lastGoodSample returns the most recent successful sample, if any.
+func (s *Sensor) lastGoodSample() (float64, bool) {
+	if !s.haveGood.Load() {
+		return 0, false
+	}
+	return math.Float64frombits(s.lastGood.Load()), true
 }
 
 // drawNoise returns a standard-normal value: tick-keyed when a tick
@@ -101,4 +156,14 @@ func (s *Sensor) drawNoise() float64 {
 // by Linux hwmon temp*_input files.
 func (s *Sensor) Millidegrees() int64 {
 	return int64(math.Round(s.Read() * 1000))
+}
+
+// CheckedMillidegrees is Millidegrees with dropout faults surfaced as an
+// error, matching the EIO a dead hwmon temp*_input read returns.
+func (s *Sensor) CheckedMillidegrees() (int64, error) {
+	v, err := s.ReadChecked()
+	if err != nil {
+		return 0, err
+	}
+	return int64(math.Round(v * 1000)), nil
 }

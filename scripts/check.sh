@@ -33,4 +33,7 @@ fi
 echo "==> go test -race ./..."
 go test -race ./...
 
+echo "==> chaos smoke (experiments -only chaos)"
+go run ./cmd/experiments -only chaos >/dev/null
+
 echo "OK"

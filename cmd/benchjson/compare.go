@@ -112,6 +112,93 @@ func compare(oldRep, newRep *Report, tolerancePct float64, out io.Writer) int {
 	return regressions
 }
 
+// withinMain implements `benchjson -within base subject file.json
+// [-tolerance pct]`: a cross-name gate inside ONE trajectory document.
+// Every result of the subject benchmark is matched to the base
+// benchmark's result at the same nodes=/workers= shape, and the run
+// fails when any matched pair shows the subject slower than the base
+// by more than the tolerance percentage. Zero matched pairs is an
+// error, not a pass — a renamed benchmark must not disable the gate.
+//
+// scripts/bench.sh uses this to bound the full-control cost:
+//
+//	benchjson -within ClusterStep EngineStep -tolerance 25 BENCH_cluster.json
+func withinMain(args []string) {
+	tolerance := 25.0
+	var operands []string
+	for i := 0; i < len(args); i++ {
+		if args[i] == "-tolerance" || args[i] == "--tolerance" {
+			if i+1 >= len(args) {
+				fatalf("-tolerance needs a value")
+			}
+			v, err := strconv.ParseFloat(args[i+1], 64)
+			if err != nil || v < 0 {
+				fatalf("-tolerance %q: want a non-negative percentage", args[i+1])
+			}
+			tolerance = v
+			i++
+			continue
+		}
+		operands = append(operands, args[i])
+	}
+	if len(operands) != 3 {
+		fatalf("-within wants base subject file.json, got %d operand(s)", len(operands))
+	}
+	base, subject, file := operands[0], operands[1], operands[2]
+	rep, err := loadReport(file)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	checked, breaches := within(rep, base, subject, tolerance, os.Stdout)
+	if checked == 0 {
+		fatalf("no (nodes, workers) shape has both %s and %s in %s", base, subject, file)
+	}
+	if breaches > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %s exceeds %s by more than %.0f%% at %d shape(s)\n",
+			subject, base, tolerance, breaches)
+		os.Exit(1)
+	}
+}
+
+// within prints a per-shape delta table of subject over base and
+// returns how many shapes were checked and how many breached
+// tolerancePct.
+func within(rep *Report, base, subject string, tolerancePct float64, out io.Writer) (checked, breaches int) {
+	type shape struct{ nodes, workers int }
+	baseByShape := map[shape]Result{}
+	for _, r := range rep.Results {
+		if r.Benchmark == base {
+			baseByShape[shape{r.Nodes, r.Workers}] = r
+		}
+	}
+	fmt.Fprintf(out, "%-55s %14s %14s %9s\n",
+		subject+" vs "+base, base+" ns/op", "ns/op", "delta")
+	for _, sr := range rep.Results {
+		if sr.Benchmark != subject {
+			continue
+		}
+		br, ok := baseByShape[shape{sr.Nodes, sr.Workers}]
+		if !ok || br.NsPerOp <= 0 {
+			fmt.Fprintf(out, "%-55s %14s %14.0f %9s\n", sr.Name, "-", sr.NsPerOp, "no base")
+			continue
+		}
+		checked++
+		deltaPct := (sr.NsPerOp - br.NsPerOp) / br.NsPerOp * 100
+		mark := ""
+		if deltaPct > tolerancePct {
+			mark = "  BREACH"
+			breaches++
+			if os.Getenv("GITHUB_ACTIONS") == "true" {
+				fmt.Fprintf(out, "::warning::%s is %.1f%% over %s (%.0f → %.0f ns/op, tolerance %.0f%%)\n",
+					sr.Name, deltaPct, br.Name, br.NsPerOp, sr.NsPerOp, tolerancePct)
+			}
+		}
+		fmt.Fprintf(out, "%-55s %14.0f %14.0f %+8.1f%%%s\n",
+			sr.Name, br.NsPerOp, sr.NsPerOp, deltaPct, mark)
+	}
+	return checked, breaches
+}
+
 func fatalf(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "benchjson: "+format+"\n", args...)
 	os.Exit(2)

@@ -52,6 +52,67 @@ func TestCompareImprovementNeverFails(t *testing.T) {
 	}
 }
 
+func TestWithinMatchesByShape(t *testing.T) {
+	r := rep(
+		Result{Name: "BenchmarkClusterStep/nodes=64/workers=1-8",
+			Benchmark: "ClusterStep", Nodes: 64, Workers: 1, NsPerOp: 1000},
+		Result{Name: "BenchmarkClusterStep/nodes=64/workers=4-8",
+			Benchmark: "ClusterStep", Nodes: 64, Workers: 4, NsPerOp: 400},
+		// 20% over base: within a 25% bound.
+		Result{Name: "BenchmarkEngineStep/nodes=64/workers=1-8",
+			Benchmark: "EngineStep", Nodes: 64, Workers: 1, NsPerOp: 1200},
+		// 50% over base: a breach.
+		Result{Name: "BenchmarkEngineStep/nodes=64/workers=4-8",
+			Benchmark: "EngineStep", Nodes: 64, Workers: 4, NsPerOp: 600},
+	)
+	var out bytes.Buffer
+	checked, breaches := within(r, "ClusterStep", "EngineStep", 25, &out)
+	if checked != 2 || breaches != 1 {
+		t.Fatalf("checked, breaches = %d, %d, want 2, 1\noutput:\n%s",
+			checked, breaches, out.String())
+	}
+	if !strings.Contains(out.String(), "BREACH") {
+		t.Errorf("output missing BREACH marker:\n%s", out.String())
+	}
+}
+
+func TestWithinUnmatchedShapeIsInformational(t *testing.T) {
+	// The subject runs a shape the base never measured: reported as
+	// "no base", neither checked nor breached — but a shape that IS
+	// shared still gates.
+	r := rep(
+		Result{Name: "BenchmarkClusterStep/nodes=4/workers=1-8",
+			Benchmark: "ClusterStep", Nodes: 4, Workers: 1, NsPerOp: 1000},
+		Result{Name: "BenchmarkEngineStep/nodes=4/workers=1-8",
+			Benchmark: "EngineStep", Nodes: 4, Workers: 1, NsPerOp: 1010},
+		Result{Name: "BenchmarkEngineStep/nodes=256/workers=1-8",
+			Benchmark: "EngineStep", Nodes: 256, Workers: 1, NsPerOp: 9e9},
+	)
+	var out bytes.Buffer
+	checked, breaches := within(r, "ClusterStep", "EngineStep", 25, &out)
+	if checked != 1 || breaches != 0 {
+		t.Fatalf("checked, breaches = %d, %d, want 1, 0\noutput:\n%s",
+			checked, breaches, out.String())
+	}
+	if !strings.Contains(out.String(), "no base") {
+		t.Errorf("output missing \"no base\" marker:\n%s", out.String())
+	}
+}
+
+func TestWithinZeroMatchesIsDetectable(t *testing.T) {
+	// A renamed base must surface as checked == 0 (withinMain turns
+	// that into a hard error), never as a silent pass.
+	r := rep(
+		Result{Name: "BenchmarkEngineStep/nodes=64/workers=1-8",
+			Benchmark: "EngineStep", Nodes: 64, Workers: 1, NsPerOp: 1000},
+	)
+	var out bytes.Buffer
+	checked, breaches := within(r, "ClusterStep", "EngineStep", 25, &out)
+	if checked != 0 || breaches != 0 {
+		t.Fatalf("checked, breaches = %d, %d, want 0, 0", checked, breaches)
+	}
+}
+
 func TestCompareNewAndGoneAreInformational(t *testing.T) {
 	oldRep := rep(
 		Result{Name: "B/stays", NsPerOp: 100},

@@ -20,6 +20,15 @@
 //
 // CI uses this to gate pull requests against the committed
 // BENCH_cluster.json trajectory.
+//
+// With -within, benchjson gates one benchmark against another inside a
+// single document, matching results by their nodes=/workers= shape —
+// the control-cost bound for the engine benchmark:
+//
+//	benchjson -within ClusterStep EngineStep -tolerance 25 BENCH_cluster.json
+//
+// exits non-zero when EngineStep is more than 25% slower than
+// ClusterStep at any shape both report.
 package main
 
 import (
@@ -73,6 +82,10 @@ type Report struct {
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "-compare" {
 		compareMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "-within" {
+		withinMain(os.Args[2:])
 		return
 	}
 	rep, err := parse(os.Stdin)

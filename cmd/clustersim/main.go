@@ -6,8 +6,20 @@
 // Usage:
 //
 //	clustersim [-nodes 4] [-program bt|lu] [-fan dynamic|static|constant|auto]
-//	           [-dvfs none|tdvfs|cpuspeed] [-pp 50] [-max-duty 50] [-seed N]
-//	           [-workers GOMAXPROCS] [-listen 127.0.0.1:9090] [-chaos-seed N]
+//	           [-dvfs none|tdvfs|cpuspeed] [-sleep none|ctlarray] [-pp 50]
+//	           [-max-duty 50] [-seed N] [-workers GOMAXPROCS]
+//	           [-listen 127.0.0.1:9090] [-chaos-seed N] [-scenario run.json]
+//
+// The flags are shorthand for a scenario document (see internal/config):
+// -scenario loads the same description from JSON and takes precedence
+// over the topology and control flags, so a fleet configuration checked
+// into version control drives clustersim, thermctld and the experiment
+// harness identically.
+//
+// With -sleep ctlarray, the processor sleep-state actuator
+// (cstates.Actuator) is driven through the same thermal control array
+// as the fan — the paper's "any actuator" claim made concrete — either
+// as a second binding on the dynamic fan controller or standalone.
 //
 // With -listen, the run serves Prometheus-text metrics on /metrics
 // (cluster step latency, per-worker shard timing, barrier wait, and
@@ -27,207 +39,67 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"time"
 
-	"thermctl/internal/baseline"
-	"thermctl/internal/cluster"
-	"thermctl/internal/core"
-	"thermctl/internal/faults"
+	"thermctl/internal/config"
 	"thermctl/internal/metrics"
-	"thermctl/internal/workload"
 )
 
-// options holds the parsed command line, so validation is testable
-// apart from flag registration and os.Exit.
-type options struct {
-	nodes     int
-	program   string
-	fanMethod string
-	dvfs      string
-	pp        int
-	maxDuty   float64
-	workers   int
-	listen    string
-	chaosSeed uint64
-}
-
-// validate rejects out-of-range or unknown values with an error naming
-// the offending flag, before any construction starts — a bad value must
-// fail at the command line, not panic (or silently misbehave) deep in
-// cluster setup.
-func (o options) validate() error {
-	if o.nodes < 1 {
-		return fmt.Errorf("-nodes %d: cluster needs at least one node", o.nodes)
-	}
-	switch o.program {
-	case "bt", "lu":
-	default:
-		return fmt.Errorf("-program %q: unknown program (want bt or lu)", o.program)
-	}
-	switch o.fanMethod {
-	case "dynamic", "static", "constant", "auto":
-	default:
-		return fmt.Errorf("-fan %q: unknown fan method (want dynamic, static, constant or auto)", o.fanMethod)
-	}
-	switch o.dvfs {
-	case "none", "tdvfs", "cpuspeed":
-	default:
-		return fmt.Errorf("-dvfs %q: unknown DVFS daemon (want none, tdvfs or cpuspeed)", o.dvfs)
-	}
-	if o.pp < 1 || o.pp > 100 {
-		return fmt.Errorf("-pp %d: policy parameter outside [1,100]", o.pp)
-	}
-	if o.maxDuty <= 0 || o.maxDuty > 100 {
-		return fmt.Errorf("-max-duty %g: duty cap outside (0,100]", o.maxDuty)
-	}
-	if o.workers < 1 {
-		return fmt.Errorf("-workers %d: need at least one worker", o.workers)
-	}
-	if o.chaosSeed != 0 && o.fanMethod == "auto" && o.dvfs == "none" {
-		return fmt.Errorf("-chaos-seed %d: chaos needs a software controller to exercise (use -fan dynamic/static/constant or -dvfs tdvfs/cpuspeed)", o.chaosSeed)
-	}
-	return nil
-}
-
 func main() {
-	var o options
-	flag.IntVar(&o.nodes, "nodes", 4, "cluster size")
-	flag.StringVar(&o.program, "program", "bt", "program: bt or lu")
-	flag.StringVar(&o.fanMethod, "fan", "dynamic", "fan control: dynamic, static, constant or auto (chip firmware)")
-	flag.StringVar(&o.dvfs, "dvfs", "tdvfs", "DVFS daemon: none, tdvfs or cpuspeed")
-	flag.IntVar(&o.pp, "pp", 50, "policy parameter Pp in [1,100]")
-	flag.Float64Var(&o.maxDuty, "max-duty", 50, "maximum PWM duty, percent")
-	seed := flag.Uint64("seed", 20100131, "simulation seed")
-	flag.IntVar(&o.workers, "workers", runtime.GOMAXPROCS(0),
+	s := config.DefaultScenario()
+	scenarioPath := flag.String("scenario", "", "JSON scenario file; overrides the topology and control flags")
+	flag.IntVar(&s.Nodes, "nodes", 4, "cluster size")
+	flag.StringVar(&s.Program, "program", "bt", "program: bt or lu")
+	flag.StringVar(&s.Control.Fan, "fan", "dynamic", "fan control: dynamic, static, constant or auto (chip firmware)")
+	flag.StringVar(&s.Control.DVFS, "dvfs", "tdvfs", "DVFS daemon: none, tdvfs or cpuspeed")
+	flag.StringVar(&s.Control.Sleep, "sleep", "none", "sleep-state control: none, or ctlarray to drive C-states through the thermal control array")
+	flag.IntVar(&s.Control.Tuning.Pp, "pp", 50, "policy parameter Pp in [1,100]")
+	flag.Float64Var(&s.Control.Tuning.MaxFanDuty, "max-duty", 50, "maximum PWM duty, percent")
+	flag.Uint64Var(&s.Seed, "seed", 20100131, "simulation seed")
+	flag.IntVar(&s.Workers, "workers", runtime.GOMAXPROCS(0),
 		"worker goroutines stepping the nodes (results are identical for any value)")
-	flag.StringVar(&o.listen, "listen", "", "optional HTTP address for /metrics and /debug/pprof")
-	flag.Uint64Var(&o.chaosSeed, "chaos-seed", 0,
+	listen := flag.String("listen", "", "optional HTTP address for /metrics and /debug/pprof")
+	flag.Uint64Var(&s.Chaos.Seed, "chaos-seed", 0,
 		"generate and replay a deterministic fault campaign with this seed (0 = no faults)")
 	flag.Parse()
-	if err := o.validate(); err != nil {
+
+	if *scenarioPath != "" {
+		loaded, err := config.LoadScenario(*scenarioPath)
+		if err != nil {
+			fatal(err)
+		}
+		s = loaded
+	}
+	s.Metrics.Enabled = s.Metrics.Enabled || *listen != ""
+	if s.Program == "" {
+		s.Program = "bt" // clustersim runs a program; generator scenarios are thermctld's
+	}
+	s.Normalize()
+	if err := s.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "clustersim:", err)
 		flag.Usage()
 		os.Exit(2)
 	}
 
-	var prog workload.Program
-	switch o.program {
-	case "bt":
-		prog = workload.BTB4()
-	case "lu":
-		prog = workload.LUB4()
-	}
-
-	c, err := cluster.New(o.nodes, cluster.DefaultDt, *seed)
+	// The scenario layer owns what used to be this command's wiring
+	// loop: cluster construction, the fault campaign, per-node
+	// controllers and metric registration.
+	rig, err := s.Build()
 	if err != nil {
 		fatal(err)
 	}
-	c.SetWorkers(o.workers)
-	c.Settle(0)
+	c := rig.Cluster
 
-	// Wiring-time metric registration: the registry exists only when a
-	// scrape endpoint was requested, and every instrumentation call
-	// happens before the first step.
-	var reg *metrics.Registry
-	if o.listen != "" {
-		reg = metrics.NewRegistry()
-		c.InstrumentMetrics(reg)
-	}
-
-	// Chaos campaign: a generated fault plan across every node, replayed
-	// by the plane in the serial controller phase so the timeline is
-	// byte-identical for any -workers value. The horizon stretches past
-	// the ideal execution time because faults slow the program down.
-	var plane *faults.Plane
-	if o.chaosSeed != 0 {
-		names := make([]string, len(c.Nodes))
-		for i, n := range c.Nodes {
-			names[i] = n.Name
-		}
-		horizon := time.Duration(1.5 * prog.IdealSeconds(2.4) * float64(time.Second))
-		plan := faults.Generate(o.chaosSeed, names, horizon)
-		plane, err = c.ApplyFaults(plan, *seed)
-		if err != nil {
-			fatal(err)
-		}
-		if reg != nil {
-			plane.InstrumentMetrics(reg)
-		}
+	if rig.Plane != nil {
 		episodes := 0
-		for _, sch := range plan.Schedules {
+		for _, sch := range rig.Plane.Plan().Schedules {
 			episodes += len(sch.Episodes)
 		}
-		fmt.Printf("clustersim: chaos seed %d: %d fault episodes across %d nodes over %s\n",
-			o.chaosSeed, episodes, len(plan.Schedules), horizon)
+		fmt.Printf("clustersim: chaos seed %d: %d fault episodes across %d nodes\n",
+			s.Chaos.Seed, episodes, len(c.Nodes))
 	}
 
-	// Per-node controllers, exactly as daemons run per machine.
-	for _, n := range c.Nodes {
-		read := core.SysfsTemp(n.FS, n.Hwmon.TempInput)
-		fanPort := &core.SysfsFanPort{FS: n.FS, Chip: n.Hwmon}
-		freqPort := &core.SysfsFreqPort{FS: n.FS, Paths: n.Cpufreq}
-
-		var fanCtl *core.Controller
-		switch o.fanMethod {
-		case "dynamic":
-			fanCtl, err = core.NewController(core.DefaultConfig(o.pp), read,
-				core.ActuatorBinding{Actuator: core.NewFanActuator(fanPort, o.maxDuty)})
-			if err != nil {
-				fatal(err)
-			}
-		case "static":
-			s, err := baseline.NewStaticFan(baseline.DefaultStaticFanConfig(o.maxDuty), read, fanPort)
-			if err != nil {
-				fatal(err)
-			}
-			c.AddController(s)
-		case "constant":
-			c.AddController(baseline.NewConstantFan(o.maxDuty, fanPort))
-		case "auto":
-			// chip firmware curve; nothing to attach
-		}
-
-		switch o.dvfs {
-		case "tdvfs":
-			act, err := core.NewDVFSActuator(freqPort)
-			if err != nil {
-				fatal(err)
-			}
-			d, err := core.NewTDVFS(core.DefaultTDVFSConfig(o.pp), read, act)
-			if err != nil {
-				fatal(err)
-			}
-			if fanCtl != nil {
-				h := core.NewHybrid(fanCtl, d)
-				if reg != nil {
-					h.InstrumentMetrics(reg, metrics.L("node", n.Name))
-				}
-				c.AddController(h)
-				fanCtl = nil
-			} else {
-				if reg != nil {
-					d.InstrumentMetrics(reg, metrics.L("node", n.Name))
-				}
-				c.AddController(d)
-			}
-		case "cpuspeed":
-			cs, err := baseline.NewCPUSpeed(baseline.DefaultCPUSpeedConfig(), n.FS, freqPort)
-			if err != nil {
-				fatal(err)
-			}
-			c.AddController(cs)
-		case "none":
-		}
-		if fanCtl != nil {
-			if reg != nil {
-				fanCtl.InstrumentMetrics(reg, metrics.L("node", n.Name))
-			}
-			c.AddController(fanCtl)
-		}
-	}
-
-	if o.listen != "" {
-		srv, err := metrics.Serve(o.listen, reg)
+	if *listen != "" {
+		srv, err := metrics.Serve(*listen, rig.Registry)
 		if err != nil {
 			fatal(err)
 		}
@@ -235,15 +107,16 @@ func main() {
 		fmt.Printf("clustersim: metrics and pprof on http://%s/metrics\n", srv.Addr())
 	}
 
-	fmt.Printf("clustersim: %s on %d nodes (%d workers), fan=%s dvfs=%s Pp=%d max-duty=%.0f%%\n",
-		prog, o.nodes, c.Workers(), o.fanMethod, o.dvfs, o.pp, o.maxDuty)
-	res := c.RunProgram(prog, 0)
+	fmt.Printf("clustersim: %s on %d nodes (%d workers), fan=%s dvfs=%s sleep=%s Pp=%d max-duty=%.0f%%\n",
+		*rig.Program, s.Nodes, c.Workers(), s.Control.Fan, s.Control.DVFS, s.Control.Sleep,
+		s.Control.Tuning.Pp, s.Control.Tuning.MaxFanDuty)
+	res := c.RunProgram(*rig.Program, 0)
 	if res.TimedOut {
 		fmt.Println("WARNING: run hit the simulation time limit")
 	}
 
 	fmt.Printf("\nexecution time: %.1f s (ideal at 2.4 GHz: %.1f s)\n",
-		res.ExecTime.Seconds(), prog.IdealSeconds(2.4))
+		res.ExecTime.Seconds(), rig.Program.IdealSeconds(2.4))
 	fmt.Printf("%-8s %10s %10s %10s %12s %12s\n",
 		"node", "avg W", "peak W", "die degC", "fan duty %", "freq chgs")
 	var totalW float64
@@ -256,14 +129,30 @@ func main() {
 	fmt.Printf("\ncluster average power: %.2f W; power-delay product: %.0f W*s/node\n",
 		totalW, totalW/float64(len(c.Nodes))*res.ExecTime.Seconds())
 
-	if plane != nil {
+	if s.Control.Sleep == "ctlarray" {
+		fmt.Printf("\nsleep-state array (cstates through ctlarray):\n")
+		for i, nc := range rig.Nodes {
+			ctl := nc.Fan
+			slot := 1 // second binding on the dynamic fan controller
+			if ctl == nil {
+				ctl, slot = nc.Sleep, 0
+			}
+			if ctl == nil {
+				continue
+			}
+			fmt.Printf("%-8s mode C%d (%d moves)\n",
+				c.Nodes[i].Name, ctl.Policy().Mode(slot), ctl.Binding().Moves(slot))
+		}
+	}
+
+	if rig.Plane != nil {
 		var emergencies uint64
 		for _, n := range c.Nodes {
 			emergencies += n.Emergencies()
 		}
 		fmt.Printf("\nchaos: %d episode transitions, %d hardware emergencies\n",
-			len(plane.Events()), emergencies)
-		fmt.Print(plane.Timeline())
+			len(rig.Plane.Events()), emergencies)
+		fmt.Print(rig.Plane.Timeline())
 	}
 }
 

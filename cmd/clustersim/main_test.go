@@ -3,47 +3,51 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"thermctl/internal/config"
 )
 
-func validOptions() options {
-	return options{
-		nodes: 4, program: "bt", fanMethod: "dynamic", dvfs: "tdvfs",
-		pp: 50, maxDuty: 50, workers: 1,
-	}
+// clustersim's flag validation is the scenario layer's Validate; these
+// tests pin that the command rejects what it used to reject by hand.
+
+func validScenario() config.Scenario {
+	s := config.DefaultScenario()
+	s.Workers = 1
+	s.Normalize()
+	return s
 }
 
 func TestValidateAcceptsDefaults(t *testing.T) {
-	if err := validOptions().validate(); err != nil {
-		t.Fatalf("default options rejected: %v", err)
+	s := validScenario()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("default scenario rejected: %v", err)
 	}
 }
 
 func TestValidateRejectsOutOfRangeFlags(t *testing.T) {
 	cases := []struct {
-		flag   string // must appear in the error, naming the offender
-		mutate func(*options)
+		field  string // must appear in the error, naming the offender
+		mutate func(*config.Scenario)
 	}{
-		{"-nodes", func(o *options) { o.nodes = 0 }},
-		{"-nodes", func(o *options) { o.nodes = -3 }},
-		{"-program", func(o *options) { o.program = "cg" }},
-		{"-fan", func(o *options) { o.fanMethod = "turbo" }},
-		{"-dvfs", func(o *options) { o.dvfs = "ondemand" }},
-		{"-pp", func(o *options) { o.pp = 0 }},
-		{"-pp", func(o *options) { o.pp = 101 }},
-		{"-max-duty", func(o *options) { o.maxDuty = 0 }},
-		{"-max-duty", func(o *options) { o.maxDuty = 150 }},
-		{"-workers", func(o *options) { o.workers = 0 }},
+		{"nodes", func(s *config.Scenario) { s.Nodes = -3 }},
+		{"program", func(s *config.Scenario) { s.Program = "cg" }},
+		{"fan", func(s *config.Scenario) { s.Control.Fan = "turbo" }},
+		{"dvfs", func(s *config.Scenario) { s.Control.DVFS = "ondemand" }},
+		{"sleep", func(s *config.Scenario) { s.Control.Sleep = "deep" }},
+		{"pp", func(s *config.Scenario) { s.Control.Tuning.Pp = 101 }},
+		{"max_fan_duty", func(s *config.Scenario) { s.Control.Tuning.MaxFanDuty = 150 }},
+		{"workers", func(s *config.Scenario) { s.Workers = -1 }},
 	}
 	for _, tc := range cases {
-		o := validOptions()
-		tc.mutate(&o)
-		err := o.validate()
+		s := validScenario()
+		tc.mutate(&s)
+		err := s.Validate()
 		if err == nil {
-			t.Errorf("%s: invalid value accepted (%+v)", tc.flag, o)
+			t.Errorf("%s: invalid value accepted (%+v)", tc.field, s)
 			continue
 		}
-		if !strings.Contains(err.Error(), tc.flag) {
-			t.Errorf("error %q does not name the offending flag %s", err, tc.flag)
+		if !strings.Contains(err.Error(), tc.field) {
+			t.Errorf("error %q does not name the offending field %s", err, tc.field)
 		}
 	}
 }
@@ -51,11 +55,15 @@ func TestValidateRejectsOutOfRangeFlags(t *testing.T) {
 func TestValidateAcceptsEveryKnownMode(t *testing.T) {
 	for _, fan := range []string{"dynamic", "static", "constant", "auto"} {
 		for _, dvfs := range []string{"none", "tdvfs", "cpuspeed"} {
-			for _, prog := range []string{"bt", "lu"} {
-				o := validOptions()
-				o.fanMethod, o.dvfs, o.program = fan, dvfs, prog
-				if err := o.validate(); err != nil {
-					t.Errorf("fan=%s dvfs=%s program=%s rejected: %v", fan, dvfs, prog, err)
+			for _, sleep := range []string{"none", "ctlarray"} {
+				for _, prog := range []string{"bt", "lu"} {
+					s := validScenario()
+					s.Control.Fan, s.Control.DVFS, s.Control.Sleep = fan, dvfs, sleep
+					s.Program = prog
+					if err := s.Validate(); err != nil {
+						t.Errorf("fan=%s dvfs=%s sleep=%s program=%s rejected: %v",
+							fan, dvfs, sleep, prog, err)
+					}
 				}
 			}
 		}

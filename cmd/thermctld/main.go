@@ -6,12 +6,25 @@
 // Usage:
 //
 //	thermctld [-pp 50] [-max-duty 50] [-duration 10m]
-//	          [-ipmi 127.0.0.1:9623] [-seed 1] [-config thermctl.json]
+//	          [-fan dynamic|static|constant|auto] [-dvfs none|tdvfs|cpuspeed]
+//	          [-sleep none|ctlarray] [-ipmi 127.0.0.1:9623] [-seed 1]
+//	          [-config thermctl.json] [-scenario run.json]
 //	          [-listen 127.0.0.1:9090] [-faults plan.json]
 //
 // A JSON config file (see internal/config) overrides the flag defaults:
 //
 //	{"pp": 25, "max_fan_duty": 60, "threshold_c": 55}
+//
+// A scenario file (-scenario) goes further: its control section selects
+// the techniques and the tuning for this daemon exactly as it does for
+// clustersim and the experiment harness — one document, three
+// consumers. The daemon runs one node, so the scenario's topology
+// fields (nodes, workers, program, chaos) are ignored here.
+//
+// With -sleep ctlarray, the processor sleep-state actuator rides the
+// same thermal control array as the fan (a second binding on the
+// dynamic controller, or a standalone array when the fan is not under
+// dynamic control).
 //
 // With -faults, the daemon replays a fault plan (see internal/faults)
 // against its own devices; every schedule in the plan must target this
@@ -43,7 +56,6 @@ import (
 
 	"thermctl"
 	"thermctl/internal/config"
-	"thermctl/internal/core"
 	"thermctl/internal/faults"
 	"thermctl/internal/ipmi"
 	"thermctl/internal/metrics"
@@ -72,6 +84,10 @@ type options struct {
 	verbose  bool
 	pace     float64
 	cfgPath  string
+	scenario string
+	fan      string
+	dvfs     string
+	sleep    string
 	faults   string
 
 	// stop, when non-nil, ends the run early from another goroutine.
@@ -86,6 +102,9 @@ func main() {
 	flag.IntVar(&o.pp, "pp", 50, "policy parameter Pp in [1,100] for both knobs")
 	flag.Float64Var(&o.maxDuty, "max-duty", 50, "maximum PWM duty, percent")
 	flag.DurationVar(&o.duration, "duration", 10*time.Minute, "simulated run time")
+	flag.StringVar(&o.fan, "fan", "dynamic", "fan control: dynamic, static, constant or auto (chip firmware)")
+	flag.StringVar(&o.dvfs, "dvfs", "tdvfs", "DVFS daemon: none, tdvfs or cpuspeed")
+	flag.StringVar(&o.sleep, "sleep", "none", "sleep-state control: none, or ctlarray to drive C-states through the thermal control array")
 	flag.StringVar(&o.ipmiAddr, "ipmi", "", "optional TCP address to serve the node's BMC on")
 	flag.StringVar(&o.listen, "listen", "", "optional HTTP address for /metrics and /debug/pprof")
 	flag.Uint64Var(&o.seed, "seed", 1, "simulation seed")
@@ -93,6 +112,7 @@ func main() {
 	flag.BoolVar(&o.verbose, "verbose", false, "print the controller's internal status with each report")
 	flag.Float64Var(&o.pace, "pace", 0, "simulated seconds per wall second (0 = run flat out); use e.g. 10 when driving the BMC interactively with ipmitool")
 	flag.StringVar(&o.cfgPath, "config", "", "JSON configuration file; overrides -pp/-max-duty")
+	flag.StringVar(&o.scenario, "scenario", "", "JSON scenario file; its control section overrides the technique and tuning flags")
 	flag.StringVar(&o.faults, "faults", "", "JSON fault plan replayed against this node's devices (resilience drill)")
 	flag.Parse()
 
@@ -102,21 +122,46 @@ func main() {
 	}
 }
 
-// run assembles the simulated stack and executes the control loop. All
-// metric registration happens here, before the first step — the
-// metricsafe analyzer holds the module to that split.
-func run(o options, out io.Writer) error {
+// spec resolves the daemon's control specification from the flags and
+// the optional config / scenario files.
+func spec(o options) (config.ControlSpec, error) {
 	cfg := config.Default()
 	cfg.Pp = o.pp
 	cfg.MaxFanDuty = o.maxDuty
 	if o.cfgPath != "" {
 		loaded, err := config.Load(o.cfgPath)
 		if err != nil {
-			return err
+			return config.ControlSpec{}, err
 		}
 		cfg = loaded
 	}
 	if err := cfg.Validate(); err != nil {
+		return config.ControlSpec{}, err
+	}
+	cs := config.ControlSpec{Fan: o.fan, DVFS: o.dvfs, Sleep: o.sleep, Tuning: cfg}
+	if o.scenario != "" {
+		s, err := config.LoadScenario(o.scenario)
+		if err != nil {
+			return config.ControlSpec{}, err
+		}
+		cs = s.Control
+	}
+	// Reuse the scenario validation for the technique names; the
+	// single-node daemon ignores the topology fields.
+	probe := config.Scenario{Nodes: 1, Control: cs}
+	probe.Normalize()
+	if err := probe.Validate(); err != nil {
+		return config.ControlSpec{}, err
+	}
+	return probe.Control, nil
+}
+
+// run assembles the simulated stack and executes the control loop. All
+// metric registration happens here, before the first step — the
+// metricsafe analyzer holds the module to that split.
+func run(o options, out io.Writer) error {
+	cs, err := spec(o)
+	if err != nil {
 		return err
 	}
 
@@ -154,31 +199,15 @@ func run(o options, out io.Writer) error {
 	retrier := faults.NewRetrier(faults.DefaultRetryPolicy(),
 		rng.New(rng.Mix(o.seed, retryStream)), nil)
 
-	read := core.SysfsTemp(n.FS, n.Hwmon.TempInput)
-	fan, err := core.NewController(cfg.ControllerConfig(), read,
-		core.ActuatorBinding{Actuator: &core.RetryActuator{
-			Inner: core.NewFanActuator(
-				&core.SysfsFanPort{FS: n.FS, Chip: n.Hwmon}, cfg.MaxFanDuty),
-			R: retrier,
-		}})
-	if err != nil {
-		return err
-	}
-	act, err := core.NewDVFSActuator(&core.RetryFreqPort{
-		Port: &core.SysfsFreqPort{FS: n.FS, Paths: n.Cpufreq}, R: retrier})
-	if err != nil {
-		return err
-	}
-	dvfs, err := core.NewTDVFS(cfg.TDVFSConfig(), read, act)
-	if err != nil {
-		return err
-	}
-	u := core.NewHybrid(fan, dvfs)
-
-	// Wire the whole stack to one registry: controller, device models,
-	// BMC, and the daemon's own loop timing.
+	// Wire the whole stack to one registry: controllers, device models,
+	// BMC, and the daemon's own loop timing. The scenario layer builds
+	// (and instruments) the controller set — the same wiring clustersim
+	// and the experiment harness use.
 	reg := metrics.NewRegistry()
-	u.InstrumentMetrics(reg)
+	nc, err := cs.BuildNode(n, config.NodeOptions{Retrier: retrier, Registry: reg})
+	if err != nil {
+		return err
+	}
 	n.Fan.InstrumentMetrics(reg)
 	n.Chip.InstrumentMetrics(reg)
 	n.BMC.InstrumentMetrics(reg)
@@ -212,9 +241,10 @@ func run(o options, out io.Writer) error {
 		fmt.Fprintf(out, "thermctld: BMC serving IPMI on %s\n", srv.Addr())
 	}
 
+	tune := cs.Tuning
 	n.SetGenerator(thermctl.CPUBurn(o.seed + 1))
-	fmt.Fprintf(out, "thermctld: unified control, Pp=%d, max duty %.0f%%, threshold %.0f degC, %s\n",
-		cfg.Pp, cfg.MaxFanDuty, cfg.ThresholdC, o.duration)
+	fmt.Fprintf(out, "thermctld: fan=%s dvfs=%s sleep=%s, Pp=%d, max duty %.0f%%, threshold %.0f degC, %s\n",
+		cs.Fan, cs.DVFS, cs.Sleep, tune.Pp, tune.MaxFanDuty, tune.ThresholdC, o.duration)
 	fmt.Fprintf(out, "%8s %10s %8s %9s %8s %10s\n",
 		"time", "temp degC", "duty %", "freq GHz", "dvfs", "power W")
 
@@ -237,30 +267,78 @@ func run(o options, out io.Writer) error {
 		if plane != nil {
 			plane.OnStep(n.Elapsed())
 		}
-		u.OnStep(n.Elapsed())
+		for _, ctl := range nc.Controllers {
+			ctl.OnStep(n.Elapsed())
+		}
 		stepSeconds.ObserveSince(begin)
 		steps.Inc()
 		if n.Elapsed() >= next {
 			next += o.every
-			engaged := "idle"
-			if u.DVFS.Engaged() {
-				engaged = "engaged"
+			engaged := "-"
+			if nc.TDVFS != nil {
+				engaged = "idle"
+				if nc.TDVFS.Engaged() {
+					engaged = "engaged"
+				}
 			}
 			fmt.Fprintf(out, "%8s %10.2f %8.1f %9.1f %8s %10.1f\n",
 				n.Elapsed().Truncate(time.Second), n.Sensor.Read(), n.Fan.Duty(),
 				n.CPU.FreqGHz(), engaged, n.Power().Total())
 			if o.verbose {
-				fmt.Fprintf(out, "          %s\n", fan.Status())
+				switch {
+				case nc.Fan != nil:
+					fmt.Fprintf(out, "          %s\n", nc.Fan.Status())
+				case nc.Sleep != nil:
+					fmt.Fprintf(out, "          %s\n", nc.Sleep.Status())
+				}
 			}
 		}
 	}
 	fmt.Fprintf(out, "\nfinal: die %.2f degC, duty %.1f%%, %.1f GHz; avg power %.2f W; %d freq transitions\n",
 		n.TrueDieC(), n.Fan.Duty(), n.CPU.FreqGHz(), n.Meter.AverageW(), n.CPU.Transitions())
+	if cs.Sleep == "ctlarray" {
+		ctl, slot := nc.Sleep, 0
+		if ctl == nil && nc.Fan != nil {
+			ctl, slot = nc.Fan, 1 // second binding on the dynamic controller
+		}
+		if ctl != nil {
+			fmt.Fprintf(out, "sleep-state array: mode C%d, %d moves\n",
+				ctl.Policy().Mode(slot), ctl.Binding().Moves(slot))
+		}
+	}
 	if plane != nil {
 		fmt.Fprintf(out, "fault timeline:\n%s", plane.Timeline())
-		fmt.Fprintf(out, "controller errors: fan %d, dvfs %d; fail-safe: fan %d, dvfs %d edges\n",
-			fan.Errors(), dvfs.Errors(),
-			len(fan.FailSafeEvents()), len(dvfs.FailSafeEvents()))
+		// The hybrid's aggregated surface covers both lanes; other
+		// configurations report per-controller.
+		if h := nc.Hybrid; h != nil {
+			var fanEdges, dvfsEdges int
+			for _, ev := range h.FailSafeEvents() {
+				switch ev.Lane {
+				case "fan":
+					fanEdges++
+				case "dvfs":
+					dvfsEdges++
+				}
+			}
+			fmt.Fprintf(out, "controller errors: %d; fail-safe: fan %d, dvfs %d edges\n",
+				h.Errors(), fanEdges, dvfsEdges)
+		} else {
+			var errs uint64
+			var edges int
+			if nc.Fan != nil {
+				errs += nc.Fan.Errors()
+				edges += len(nc.Fan.FailSafeEvents())
+			}
+			if nc.TDVFS != nil {
+				errs += nc.TDVFS.Errors()
+				edges += len(nc.TDVFS.FailSafeEvents())
+			}
+			if nc.Sleep != nil {
+				errs += nc.Sleep.Errors()
+				edges += len(nc.Sleep.FailSafeEvents())
+			}
+			fmt.Fprintf(out, "controller errors: %d; fail-safe: %d edges\n", errs, edges)
+		}
 	}
 	return nil
 }

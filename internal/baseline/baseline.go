@@ -11,6 +11,12 @@
 //     scaling with no temperature input, reading /proc/stat like the
 //     real daemon. Its transition churn on phase-structured parallel
 //     applications is the foil for tDVFS in Table 1.
+//
+// Since the control-plane unification each baseline is a policy hosted
+// on a core.Binding: the engine owns sampling cadence and error
+// accounting (the fail-safe escalation is disabled, preserving the
+// baselines' historical count-and-skip behaviour), and the policy is
+// only the decision law the paper compares against.
 package baseline
 
 import (
@@ -50,11 +56,20 @@ func DefaultStaticFanConfig(maxDuty float64) StaticFanConfig {
 
 // StaticFan is the traditional static fan controller.
 type StaticFan struct {
-	cfg  StaticFanConfig
-	read core.TempReader
-	port core.FanPort
-	next time.Duration
-	errs uint64
+	cfg StaticFanConfig
+	b   *core.Binding
+}
+
+// staticFanPolicy maps each sample through the Figure 1 line. The
+// static map is memoryless, so the policy is one expression.
+type staticFanPolicy struct{ s *StaticFan }
+
+// Name implements core.Policy.
+func (p staticFanPolicy) Name() string { return "staticmap" }
+
+// Decide implements core.Policy.
+func (p staticFanPolicy) Decide(tx *core.Txn) {
+	tx.ApplyDuty(0, p.s.Duty(tx.Sample()))
 }
 
 // NewStaticFan builds the controller.
@@ -68,8 +83,23 @@ func NewStaticFan(cfg StaticFanConfig, read core.TempReader, port core.FanPort) 
 	if cfg.TmaxC <= cfg.TminC {
 		return nil, fmt.Errorf("baseline: Tmax must exceed Tmin")
 	}
-	return &StaticFan{cfg: cfg, read: read, port: port, next: cfg.SamplePeriod}, nil
+	s := &StaticFan{cfg: cfg}
+	b, err := core.NewBinding(core.BindingConfig{
+		Policy:       staticFanPolicy{s: s},
+		Read:         read,
+		SamplePeriod: cfg.SamplePeriod,
+		FailSafe:     core.FailSafeConfig{Disable: true},
+		Actuators:    []core.Actuator{&core.FanDutyActuator{Port: port}},
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.b = b
+	return s, nil
 }
+
+// Binding exposes the engine binding hosting this controller.
+func (s *StaticFan) Binding() *core.Binding { return s.b }
 
 // Duty returns the static map's duty for temperature t — the Figure 1
 // line capped at MaxDuty.
@@ -81,52 +111,64 @@ func (s *StaticFan) Duty(t float64) float64 {
 	return d
 }
 
-// Errors returns the failed read/actuation count.
-func (s *StaticFan) Errors() uint64 { return s.errs }
+// Errors returns the failed read/actuation count. Safe to call
+// concurrently with the control loop.
+func (s *StaticFan) Errors() uint64 { return s.b.Errors() }
 
 // OnStep implements the cluster Controller interface.
-func (s *StaticFan) OnStep(now time.Duration) {
-	if now < s.next {
-		return
-	}
-	s.next += s.cfg.SamplePeriod
-	t, err := s.read()
-	if err != nil {
-		s.errs++
-		return
-	}
-	if err := s.port.SetDutyPercent(s.Duty(t)); err != nil {
-		s.errs++
-	}
-}
+func (s *StaticFan) OnStep(now time.Duration) { s.b.OnStep(now) }
 
 // ConstantFan pins the fan at a fixed duty once and keeps it there.
 type ConstantFan struct {
 	Duty float64
-	port core.FanPort
+	b    *core.Binding
 	done bool
-	errs uint64
+}
+
+// constantFanPolicy retries the single pin until the write lands; it
+// reads Duty live so the field stays adjustable until then.
+type constantFanPolicy struct{ c *ConstantFan }
+
+// Name implements core.Policy.
+func (p constantFanPolicy) Name() string { return "constant" }
+
+// Decide implements core.Policy.
+func (p constantFanPolicy) Decide(tx *core.Txn) {
+	if p.c.done {
+		return
+	}
+	if tx.ApplyDuty(0, p.c.Duty) {
+		p.c.done = true
+	}
 }
 
 // NewConstantFan builds the controller.
 func NewConstantFan(duty float64, port core.FanPort) *ConstantFan {
-	return &ConstantFan{Duty: duty, port: port}
+	c := &ConstantFan{Duty: duty}
+	// The binding is windowless, readerless and ungated: the policy
+	// fires on every step until the pin lands. Construction cannot fail
+	// with a non-nil policy.
+	b, err := core.NewBinding(core.BindingConfig{
+		Policy:    constantFanPolicy{c: c},
+		FailSafe:  core.FailSafeConfig{Disable: true},
+		Actuators: []core.Actuator{&core.FanDutyActuator{Port: port}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	c.b = b
+	return c
 }
 
-// Errors returns the failed actuation count.
-func (c *ConstantFan) Errors() uint64 { return c.errs }
+// Binding exposes the engine binding hosting this controller.
+func (c *ConstantFan) Binding() *core.Binding { return c.b }
+
+// Errors returns the failed actuation count. Safe to call concurrently
+// with the control loop.
+func (c *ConstantFan) Errors() uint64 { return c.b.Errors() }
 
 // OnStep implements the cluster Controller interface.
-func (c *ConstantFan) OnStep(time.Duration) {
-	if c.done {
-		return
-	}
-	if err := c.port.SetDutyPercent(c.Duty); err != nil {
-		c.errs++
-		return
-	}
-	c.done = true
-}
+func (c *ConstantFan) OnStep(now time.Duration) { c.b.OnStep(now) }
 
 // CPUSpeedConfig parameterizes the CPUSPEED daemon model.
 type CPUSpeedConfig struct {
@@ -160,17 +202,27 @@ func DefaultCPUSpeedConfig() CPUSpeedConfig {
 // through the virtual sysfs and drives cpufreq, exactly as the real
 // daemon does — no temperature input at all.
 type CPUSpeed struct {
+	b   *core.Binding
+	pol *cpuSpeedPolicy
+}
+
+// cpuSpeedPolicy holds the daemon's decision state. The binding has no
+// temperature reader — utilization is the only input — so the policy
+// gathers its own sample inside Decide and reports failures through
+// the transaction's error counter.
+type cpuSpeedPolicy struct {
 	cfg  CPUSpeedConfig
 	fs   *hwmon.FS
 	freq core.FreqPort
-	next time.Duration
 
 	lastBusy, lastTotal float64
 	primed              bool
 	mode                int
 	nmodes              int
-	errs                uint64
 }
+
+// Name implements core.Policy.
+func (p *cpuSpeedPolicy) Name() string { return "cpuspeed" }
 
 // NewCPUSpeed builds the daemon over a node's file tree and frequency
 // port.
@@ -185,16 +237,29 @@ func NewCPUSpeed(cfg CPUSpeedConfig, fs *hwmon.FS, freq core.FreqPort) (*CPUSpee
 	if err != nil {
 		return nil, fmt.Errorf("baseline: cpuspeed: %w", err)
 	}
-	return &CPUSpeed{cfg: cfg, fs: fs, freq: freq, nmodes: len(freqs), next: cfg.Interval}, nil
+	pol := &cpuSpeedPolicy{cfg: cfg, fs: fs, freq: freq, nmodes: len(freqs)}
+	b, err := core.NewBinding(core.BindingConfig{
+		Policy:       pol,
+		SamplePeriod: cfg.Interval,
+		FailSafe:     core.FailSafeConfig{Disable: true},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &CPUSpeed{b: b, pol: pol}, nil
 }
 
-// Errors returns the failed read/actuation count.
-func (c *CPUSpeed) Errors() uint64 { return c.errs }
+// Binding exposes the engine binding hosting this daemon.
+func (c *CPUSpeed) Binding() *core.Binding { return c.b }
+
+// Errors returns the failed read/actuation count. Safe to call
+// concurrently with the control loop.
+func (c *CPUSpeed) Errors() uint64 { return c.b.Errors() }
 
 // readProcStat parses the aggregate cpu line of /proc/stat into busy and
 // total jiffies.
-func (c *CPUSpeed) readProcStat() (busy, total float64, err error) {
-	body, err := c.fs.ReadFile("/proc/stat")
+func (p *cpuSpeedPolicy) readProcStat() (busy, total float64, err error) {
+	body, err := p.fs.ReadFile("/proc/stat")
 	if err != nil {
 		return 0, 0, err
 	}
@@ -221,47 +286,46 @@ func (c *CPUSpeed) readProcStat() (busy, total float64, err error) {
 	return busy, total, nil
 }
 
-// OnStep implements the cluster Controller interface.
-func (c *CPUSpeed) OnStep(now time.Duration) {
-	if now < c.next {
-		return
-	}
-	c.next += c.cfg.Interval
-	busy, total, err := c.readProcStat()
+// Decide implements core.Policy: one utilization evaluation.
+func (p *cpuSpeedPolicy) Decide(tx *core.Txn) {
+	busy, total, err := p.readProcStat()
 	if err != nil {
-		c.errs++
+		tx.CountError()
 		return
 	}
-	if !c.primed {
-		c.primed = true
-		c.lastBusy, c.lastTotal = busy, total
+	if !p.primed {
+		p.primed = true
+		p.lastBusy, p.lastTotal = busy, total
 		return
 	}
-	db, dt := busy-c.lastBusy, total-c.lastTotal
-	c.lastBusy, c.lastTotal = busy, total
+	db, dt := busy-p.lastBusy, total-p.lastTotal
+	p.lastBusy, p.lastTotal = busy, total
 	if dt <= 0 {
 		return
 	}
 	util := db / dt
 
 	switch {
-	case util >= c.cfg.UpThreshold && c.mode != 0:
+	case util >= p.cfg.UpThreshold && p.mode != 0:
 		// Jump straight to the fastest frequency, as the daemon does.
-		c.mode = 0
-		c.apply()
-	case util <= c.cfg.DownThreshold && c.mode < c.nmodes-1:
-		c.mode++
-		c.apply()
+		p.mode = 0
+		p.apply(tx)
+	case util <= p.cfg.DownThreshold && p.mode < p.nmodes-1:
+		p.mode++
+		p.apply(tx)
 	}
 }
 
-func (c *CPUSpeed) apply() {
-	freqs, err := c.freq.AvailableKHz()
+func (p *cpuSpeedPolicy) apply(tx *core.Txn) {
+	freqs, err := p.freq.AvailableKHz()
 	if err != nil {
-		c.errs++
+		tx.CountError()
 		return
 	}
-	if err := c.freq.SetKHz(freqs[c.mode]); err != nil {
-		c.errs++
+	if err := p.freq.SetKHz(freqs[p.mode]); err != nil {
+		tx.CountError()
 	}
 }
+
+// OnStep implements the cluster Controller interface.
+func (c *CPUSpeed) OnStep(now time.Duration) { c.b.OnStep(now) }

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"thermctl/internal/core"
 	"thermctl/internal/faults"
 	"thermctl/internal/metrics"
 	"thermctl/internal/rack"
@@ -58,6 +59,58 @@ func BenchmarkClusterStep(b *testing.B) {
 			b.Run(fmt.Sprintf("nodes=%d/workers=%d", nodes, workers), func(b *testing.B) {
 				c := benchCluster(b, nodes, workers)
 				defer c.Close()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					c.Step()
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(nodes)*float64(b.N)/b.Elapsed().Seconds(), "node-steps/s")
+			})
+		}
+	}
+}
+
+// BenchmarkEngineStep is the control-engine twin of
+// BenchmarkClusterStep: the same cluster step with every node under the
+// paper's full unified controller (dynamic fan + tDVFS coupled by the
+// hybrid), all of it running through the core engine's
+// binding/policy pipeline in the serial phase. The delta against
+// BenchmarkClusterStep at a matching shape is the whole cost of
+// software thermal control — sysfs sampling, window updates and policy
+// decisions on every fourth step (SamplePeriod 250ms over DefaultDt
+// 50ms), not just engine dispatch. The engine pipeline is
+// allocation-free (2 allocs/op against the bare step's 1: the
+// per-round Txn is hosted in the binding and temp_input reads take
+// hwmon's IntReader path), and the committed trajectory records ~4%
+// at the 64- and 256-node serial shapes. The gate `benchjson -within
+// ClusterStep EngineStep -tolerance 25` in `make bench` bounds the
+// control cost with shared-machine noise headroom, and the committed
+// BENCH_cluster.json trajectory guards EngineStep itself name-to-name
+// in CI.
+func BenchmarkEngineStep(b *testing.B) {
+	for _, nodes := range []int{4, 64, 256} {
+		for _, workers := range benchWorkerCounts() {
+			b.Run(fmt.Sprintf("nodes=%d/workers=%d", nodes, workers), func(b *testing.B) {
+				c := benchCluster(b, nodes, workers)
+				defer c.Close()
+				for _, n := range c.Nodes {
+					read := core.SysfsTemp(n.FS, n.Hwmon.TempInput)
+					fan, err := core.NewController(core.DefaultConfig(50), read,
+						core.ActuatorBinding{Actuator: core.NewFanActuator(
+							&core.SysfsFanPort{FS: n.FS, Chip: n.Hwmon}, 100)})
+					if err != nil {
+						b.Fatal(err)
+					}
+					act, err := core.NewDVFSActuator(&core.SysfsFreqPort{FS: n.FS, Paths: n.Cpufreq})
+					if err != nil {
+						b.Fatal(err)
+					}
+					dvfs, err := core.NewTDVFS(core.DefaultTDVFSConfig(50), read, act)
+					if err != nil {
+						b.Fatal(err)
+					}
+					c.AddController(core.NewHybrid(fan, dvfs))
+				}
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					c.Step()

@@ -1,0 +1,173 @@
+package cluster_test
+
+// Cluster-level golden equivalence: a 4-node cluster under per-node
+// hybrid controllers and a generated fault campaign must produce a
+// byte-identical observable trace at 1, 4 and GOMAXPROCS workers, and
+// that trace must match the committed golden recorded from the
+// pre-engine controller implementations. This is the integration half of
+// the control-plane refactor's behavior-preservation contract (the unit
+// half lives in internal/core/golden_test.go).
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"thermctl/internal/cluster"
+	"thermctl/internal/core"
+	"thermctl/internal/faults"
+	"thermctl/internal/workload"
+)
+
+var update = flag.Bool("update", false, "rewrite golden trace files")
+
+// goldenWorkerCounts returns the deduplicated worker sweep {1, 4,
+// GOMAXPROCS} the acceptance contract names.
+func goldenWorkerCounts() []int {
+	counts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	seen := map[int]bool{}
+	var out []int
+	for _, w := range counts {
+		if w > 0 && !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// hybridClusterTrace runs the scenario at the given worker count and
+// returns the observable trace.
+func hybridClusterTrace(t *testing.T, workers int) string {
+	t.Helper()
+	const (
+		seed      = 20100131
+		chaosSeed = 7
+		nodes     = 4
+	)
+	c, err := cluster.New(nodes, cluster.DefaultDt, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetWorkers(workers)
+	c.Settle(0.2)
+
+	names := make([]string, len(c.Nodes))
+	for i, n := range c.Nodes {
+		names[i] = n.Name
+	}
+	horizon := 60 * time.Second
+	if _, err := c.ApplyFaults(faults.Generate(chaosSeed, names, horizon), seed); err != nil {
+		t.Fatal(err)
+	}
+
+	var fans []*core.Controller
+	var dvfss []*core.TDVFS
+	for _, n := range c.Nodes {
+		read := core.SysfsTemp(n.FS, n.Hwmon.TempInput)
+		fan, err := core.NewController(core.DefaultConfig(50), read,
+			core.ActuatorBinding{Actuator: core.NewFanActuator(
+				&core.SysfsFanPort{FS: n.FS, Chip: n.Hwmon}, 100)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		act, err := core.NewDVFSActuator(&core.SysfsFreqPort{FS: n.FS, Paths: n.Cpufreq})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dvfs, err := core.NewTDVFS(core.DefaultTDVFSConfig(50), read, act)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.AddController(core.NewHybrid(fan, dvfs))
+		fans = append(fans, fan)
+		dvfss = append(dvfss, dvfs)
+	}
+
+	var b strings.Builder
+	steps := int(horizon / cluster.DefaultDt)
+	for _, n := range c.Nodes {
+		n.SetGenerator(workload.Constant(0.85))
+	}
+	for s := 0; s < steps; s++ {
+		c.Step()
+		if s%20 != 19 {
+			continue
+		}
+		for i, n := range c.Nodes {
+			fmt.Fprintf(&b, "step=%04d node=%s temp=%.6f duty=%.6f ghz=%.6f fan[idx=%d moves=%d errs=%d fs=%v] dvfs[mode=%d errs=%d fs=%v]\n",
+				s, n.Name, n.Sensor.Read(), n.Fan.Duty(), n.CPU.FreqGHz(),
+				fans[i].Index(0), fans[i].Moves(0), fans[i].Errors(), fans[i].FailSafe(),
+				dvfss[i].CurrentMode(), dvfss[i].Errors(), dvfss[i].FailSafe())
+		}
+	}
+	for i := range fans {
+		for _, ev := range fans[i].FailSafeEvents() {
+			fmt.Fprintf(&b, "event node=%d fan at=%s engaged=%v\n", i, ev.At, ev.Engaged)
+		}
+		for _, ev := range dvfss[i].FailSafeEvents() {
+			fmt.Fprintf(&b, "event node=%d dvfs at=%s engaged=%v\n", i, ev.At, ev.Engaged)
+		}
+	}
+	return b.String()
+}
+
+func TestGoldenHybridCluster(t *testing.T) {
+	path := filepath.Join("testdata", "golden", "hybrid-cluster.trace")
+	ref := hybridClusterTrace(t, 1)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(ref), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", path)
+	} else {
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing golden (run with -update to record): %v", err)
+		}
+		if string(want) != ref {
+			diffFatal(t, "workers=1 vs golden", string(want), ref)
+		}
+	}
+	for _, w := range goldenWorkerCounts() {
+		if w == 1 {
+			continue
+		}
+		got := hybridClusterTrace(t, w)
+		if got != ref {
+			diffFatal(t, fmt.Sprintf("workers=%d vs workers=1", w), ref, got)
+		}
+	}
+}
+
+func diffFatal(t *testing.T, what, want, got string) {
+	t.Helper()
+	wantLines := strings.Split(want, "\n")
+	gotLines := strings.Split(got, "\n")
+	n := len(wantLines)
+	if len(gotLines) > n {
+		n = len(gotLines)
+	}
+	for i := 0; i < n; i++ {
+		var w, g string
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if w != g {
+			t.Fatalf("%s: first divergence at line %d:\n  want: %q\n  got:  %q", what, i+1, w, g)
+		}
+	}
+	t.Fatalf("%s: traces differ", what)
+}

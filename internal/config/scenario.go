@@ -1,0 +1,424 @@
+package config
+
+// This file is the declarative scenario layer: one JSON document
+// describing a whole control-plane deployment — node topology, the
+// control techniques per node (fan method, DVFS daemon, sleep-state
+// array), the policy parameter and tuning, an optional generated fault
+// campaign, and metrics labeling — consumed by thermctld, clustersim
+// and the experiments driver alike. Before it existed each cmd/ binary
+// re-implemented the same per-node wiring loop from flags; Build and
+// ControlSpec.BuildNode are that loop, written once.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"thermctl/internal/baseline"
+	"thermctl/internal/cluster"
+	"thermctl/internal/core"
+	"thermctl/internal/cstates"
+	"thermctl/internal/faults"
+	"thermctl/internal/metrics"
+	"thermctl/internal/node"
+	"thermctl/internal/workload"
+)
+
+// ControlSpec selects the control techniques for one node class.
+type ControlSpec struct {
+	// Fan selects the out-of-band technique: dynamic (the paper's
+	// unified controller), static (Figure 1 map), constant, or auto
+	// (chip firmware curve, no software controller). Default dynamic.
+	Fan string `json:"fan"`
+	// DVFS selects the in-band daemon: none, tdvfs, or cpuspeed.
+	// Default tdvfs.
+	DVFS string `json:"dvfs"`
+	// Sleep selects the processor sleep-state technique: none, or
+	// ctlarray to drive cstates.Actuator through the same thermal
+	// control array as the other actuators — on the dynamic fan
+	// controller when one exists (one array per technique, one window,
+	// one Pp, the paper's §3.2.2 shape), as a standalone ctlarray
+	// controller otherwise. Default none.
+	Sleep string `json:"sleep"`
+	// Tuning carries the numeric knobs (Pp, duty cap, thresholds,
+	// sampling); zero fields take the documented defaults.
+	Tuning Config `json:"tuning"`
+}
+
+// ChaosSpec requests a generated fault campaign.
+type ChaosSpec struct {
+	// Seed generates the campaign (0 = no faults).
+	Seed uint64 `json:"seed,omitempty"`
+	// HorizonMS bounds the campaign when no program sets the run
+	// length. Default 60000.
+	HorizonMS int `json:"horizon_ms,omitempty"`
+}
+
+// MetricsSpec requests an instrumented run.
+type MetricsSpec struct {
+	// Enabled builds a registry and instruments every controller and
+	// the cluster substrate.
+	Enabled bool `json:"enabled,omitempty"`
+	// Labels are constant labels stamped on every controller series,
+	// in addition to the per-node node="..." label.
+	Labels map[string]string `json:"labels,omitempty"`
+}
+
+// Scenario is the serialized deployment description.
+type Scenario struct {
+	// Name labels the scenario in logs.
+	Name string `json:"name,omitempty"`
+	// Nodes is the cluster size. Default 4.
+	Nodes int `json:"nodes"`
+	// Seed seeds the simulation. Default 20100131.
+	Seed uint64 `json:"seed"`
+	// Workers is the stepping worker-pool size; 0 picks GOMAXPROCS at
+	// build time. Results are identical for any value.
+	Workers int `json:"workers,omitempty"`
+	// Program is the SPMD program to execute: bt, lu, or empty for
+	// generator-driven runs (the caller attaches its own workload).
+	Program string `json:"program,omitempty"`
+	// Control selects the per-node techniques.
+	Control ControlSpec `json:"control"`
+	// Chaos optionally replays a generated fault campaign.
+	Chaos ChaosSpec `json:"chaos,omitempty"`
+	// Metrics optionally instruments the run.
+	Metrics MetricsSpec `json:"metrics,omitempty"`
+}
+
+// DefaultScenario is the paper's standard 4-node unified-control run.
+func DefaultScenario() Scenario {
+	return Scenario{
+		Nodes:   4,
+		Seed:    20100131,
+		Program: "bt",
+		Control: ControlSpec{Fan: "dynamic", DVFS: "tdvfs", Sleep: "none", Tuning: Default()},
+	}
+}
+
+// Normalize fills zero fields with the defaults.
+func (s *Scenario) Normalize() {
+	if s.Nodes == 0 {
+		s.Nodes = 4
+	}
+	if s.Seed == 0 {
+		s.Seed = 20100131
+	}
+	if s.Control.Fan == "" {
+		s.Control.Fan = "dynamic"
+	}
+	if s.Control.DVFS == "" {
+		s.Control.DVFS = "tdvfs"
+	}
+	if s.Control.Sleep == "" {
+		s.Control.Sleep = "none"
+	}
+	if s.Chaos.Seed != 0 && s.Chaos.HorizonMS == 0 {
+		s.Chaos.HorizonMS = 60000
+	}
+	s.Control.Tuning.Normalize()
+}
+
+// Validate reports the first invalid field, mirroring the flag
+// validation the daemons used to do by hand.
+func (s *Scenario) Validate() error {
+	if s.Nodes < 1 {
+		return fmt.Errorf("config: nodes %d: cluster needs at least one node", s.Nodes)
+	}
+	switch s.Program {
+	case "", "bt", "lu":
+	default:
+		return fmt.Errorf("config: program %q: unknown program (want bt or lu)", s.Program)
+	}
+	switch s.Control.Fan {
+	case "dynamic", "static", "constant", "auto":
+	default:
+		return fmt.Errorf("config: fan %q: unknown fan method (want dynamic, static, constant or auto)", s.Control.Fan)
+	}
+	switch s.Control.DVFS {
+	case "none", "tdvfs", "cpuspeed":
+	default:
+		return fmt.Errorf("config: dvfs %q: unknown DVFS daemon (want none, tdvfs or cpuspeed)", s.Control.DVFS)
+	}
+	switch s.Control.Sleep {
+	case "none", "ctlarray":
+	default:
+		return fmt.Errorf("config: sleep %q: unknown sleep-state control (want none or ctlarray)", s.Control.Sleep)
+	}
+	if s.Workers < 0 {
+		return fmt.Errorf("config: workers %d: need at least one worker", s.Workers)
+	}
+	if s.Chaos.Seed != 0 && s.Control.Fan == "auto" && s.Control.DVFS == "none" && s.Control.Sleep == "none" {
+		return fmt.Errorf("config: chaos seed %d: chaos needs a software controller to exercise", s.Chaos.Seed)
+	}
+	return s.Control.Tuning.Validate()
+}
+
+// ReadScenario parses, normalizes and validates a JSON scenario.
+func ReadScenario(r io.Reader) (Scenario, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Scenario
+	if err := dec.Decode(&s); err != nil {
+		return Scenario{}, fmt.Errorf("config: %w", err)
+	}
+	s.Normalize()
+	if err := s.Validate(); err != nil {
+		return Scenario{}, err
+	}
+	return s, nil
+}
+
+// LoadScenario reads a scenario file.
+func LoadScenario(path string) (Scenario, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Scenario{}, fmt.Errorf("config: %w", err)
+	}
+	defer f.Close()
+	return ReadScenario(f)
+}
+
+// NodeOptions adjusts BuildNode for the caller's environment.
+type NodeOptions struct {
+	// Retrier, when non-nil, wraps every actuator write in the bounded
+	// retry policy (thermctld's resilience posture).
+	Retrier *faults.Retrier
+	// Registry, when non-nil, instruments the controllers at wiring
+	// time with the given constant labels.
+	Registry *metrics.Registry
+	Labels   []metrics.Label
+}
+
+// NodeControl is the per-node controller set a ControlSpec builds. The
+// Controllers slice is what the caller attaches (in order); the typed
+// fields expose the pieces observability code needs.
+type NodeControl struct {
+	// Controllers in attachment order.
+	Controllers []cluster.Controller
+	// Fan is the dynamic ctlarray controller (nil for other methods).
+	// When Sleep is ctlarray and Fan is dynamic, the sleep actuator is
+	// a second binding on this controller.
+	Fan *core.Controller
+	// Hybrid couples Fan and TDVFS when both are selected.
+	Hybrid *core.Hybrid
+	// TDVFS is the in-band daemon (nil unless dvfs=tdvfs).
+	TDVFS *core.TDVFS
+	// Sleep is the standalone sleep-state ctlarray controller, built
+	// only when Sleep is ctlarray and no dynamic fan controller hosts
+	// the actuator.
+	Sleep *core.Controller
+}
+
+// BuildNode wires one node's controllers from the spec. This is the
+// loop body thermctld, clustersim and the experiments driver shared by
+// copy before the scenario layer.
+func (cs ControlSpec) BuildNode(n *node.Node, opt NodeOptions) (*NodeControl, error) {
+	out := &NodeControl{}
+	read := core.SysfsTemp(n.FS, n.Hwmon.TempInput)
+	fanPort := &core.SysfsFanPort{FS: n.FS, Chip: n.Hwmon}
+	var freqPort core.FreqPort = &core.SysfsFreqPort{FS: n.FS, Paths: n.Cpufreq}
+	if opt.Retrier != nil {
+		freqPort = &core.RetryFreqPort{Port: freqPort, R: opt.Retrier}
+	}
+	wrap := func(a core.Actuator) core.Actuator {
+		if opt.Retrier == nil {
+			return a
+		}
+		return &core.RetryActuator{Inner: a, R: opt.Retrier}
+	}
+	tune := cs.Tuning
+	tune.Normalize()
+
+	// Dynamic fan controller first: it may also host the sleep-state
+	// array, and it is consumed by the hybrid when tDVFS is selected.
+	var fanCtl *core.Controller
+	switch cs.Fan {
+	case "dynamic":
+		bindings := []core.ActuatorBinding{{
+			Actuator: wrap(core.NewFanActuator(fanPort, tune.MaxFanDuty)),
+		}}
+		if cs.Sleep == "ctlarray" {
+			bindings = append(bindings, core.ActuatorBinding{
+				Actuator: wrap(cstates.NewActuator(n.FS, n.CStates)),
+			})
+		}
+		ctl, err := core.NewController(tune.ControllerConfig(), read, bindings...)
+		if err != nil {
+			return nil, err
+		}
+		fanCtl = ctl
+		out.Fan = ctl
+	case "static":
+		s, err := baseline.NewStaticFan(baseline.DefaultStaticFanConfig(tune.MaxFanDuty), read, fanPort)
+		if err != nil {
+			return nil, err
+		}
+		out.Controllers = append(out.Controllers, s)
+	case "constant":
+		out.Controllers = append(out.Controllers, baseline.NewConstantFan(tune.MaxFanDuty, fanPort))
+	case "auto":
+		// chip firmware curve; nothing to attach
+	}
+
+	switch cs.DVFS {
+	case "tdvfs":
+		act, err := core.NewDVFSActuator(freqPort)
+		if err != nil {
+			return nil, err
+		}
+		d, err := core.NewTDVFS(tune.TDVFSConfig(), read, act)
+		if err != nil {
+			return nil, err
+		}
+		out.TDVFS = d
+		if fanCtl != nil {
+			h := core.NewHybrid(fanCtl, d)
+			if opt.Registry != nil {
+				h.InstrumentMetrics(opt.Registry, opt.Labels...)
+			}
+			out.Hybrid = h
+			out.Controllers = append(out.Controllers, h)
+			fanCtl = nil
+		} else {
+			if opt.Registry != nil {
+				d.InstrumentMetrics(opt.Registry, opt.Labels...)
+			}
+			out.Controllers = append(out.Controllers, d)
+		}
+	case "cpuspeed":
+		csd, err := baseline.NewCPUSpeed(baseline.DefaultCPUSpeedConfig(), n.FS, freqPort)
+		if err != nil {
+			return nil, err
+		}
+		out.Controllers = append(out.Controllers, csd)
+	case "none":
+	}
+	if fanCtl != nil {
+		if opt.Registry != nil {
+			fanCtl.InstrumentMetrics(opt.Registry, opt.Labels...)
+		}
+		out.Controllers = append(out.Controllers, fanCtl)
+	}
+
+	// Standalone sleep-state array when no dynamic fan controller
+	// hosts the actuator: the same decision law over the cstates mode
+	// set alone, proving the array is technique-agnostic.
+	if cs.Sleep == "ctlarray" && out.Fan == nil {
+		ctl, err := core.NewController(tune.ControllerConfig(), read,
+			core.ActuatorBinding{Actuator: wrap(cstates.NewActuator(n.FS, n.CStates))})
+		if err != nil {
+			return nil, err
+		}
+		if opt.Registry != nil {
+			ctl.InstrumentMetrics(opt.Registry, opt.Labels...)
+		}
+		out.Sleep = ctl
+		out.Controllers = append(out.Controllers, ctl)
+	}
+	return out, nil
+}
+
+// Rig is a built scenario: the cluster with every controller attached,
+// plus handles to the pieces the caller reports on.
+type Rig struct {
+	Scenario Scenario
+	Cluster  *cluster.Cluster
+	// Program is the SPMD program named by the scenario (nil when the
+	// scenario is generator-driven).
+	Program *workload.Program
+	// Registry is non-nil when the scenario enables metrics.
+	Registry *metrics.Registry
+	// Plane replays the generated fault campaign (nil without chaos).
+	Plane *faults.Plane
+	// Nodes holds the per-node controller sets, index-aligned with
+	// Cluster.Nodes.
+	Nodes []*NodeControl
+}
+
+// Build assembles the scenario: cluster, settle, fault campaign,
+// per-node control, metrics. The caller runs the program (or its own
+// loop) and reports.
+func (s Scenario) Build() (*Rig, error) {
+	s.Normalize()
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	rig := &Rig{Scenario: s}
+
+	switch s.Program {
+	case "bt":
+		p := workload.BTB4()
+		rig.Program = &p
+	case "lu":
+		p := workload.LUB4()
+		rig.Program = &p
+	}
+
+	c, err := cluster.New(s.Nodes, cluster.DefaultDt, s.Seed)
+	if err != nil {
+		return nil, err
+	}
+	workers := s.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	c.SetWorkers(workers)
+	c.Settle(0)
+	rig.Cluster = c
+
+	if s.Metrics.Enabled {
+		rig.Registry = metrics.NewRegistry()
+		c.InstrumentMetrics(rig.Registry)
+	}
+
+	if s.Chaos.Seed != 0 {
+		names := make([]string, len(c.Nodes))
+		for i, n := range c.Nodes {
+			names[i] = n.Name
+		}
+		horizon := time.Duration(s.Chaos.HorizonMS) * time.Millisecond
+		if rig.Program != nil {
+			horizon = time.Duration(1.5 * rig.Program.IdealSeconds(2.4) * float64(time.Second))
+		}
+		plan := faults.Generate(s.Chaos.Seed, names, horizon)
+		plane, err := c.ApplyFaults(plan, s.Seed)
+		if err != nil {
+			return nil, err
+		}
+		if rig.Registry != nil {
+			plane.InstrumentMetrics(rig.Registry)
+		}
+		rig.Plane = plane
+	}
+
+	for _, n := range c.Nodes {
+		opt := NodeOptions{Registry: rig.Registry}
+		if rig.Registry != nil {
+			opt.Labels = append(opt.Labels, metrics.L("node", n.Name))
+			// Constant labels in sorted key order: metric identity must
+			// not depend on map iteration order.
+			keys := make([]string, 0, len(s.Metrics.Labels))
+			for k := range s.Metrics.Labels {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				opt.Labels = append(opt.Labels, metrics.L(k, s.Metrics.Labels[k]))
+			}
+		}
+		nc, err := s.Control.BuildNode(n, opt)
+		if err != nil {
+			return nil, err
+		}
+		for _, ctl := range nc.Controllers {
+			c.AddController(ctl)
+		}
+		rig.Nodes = append(rig.Nodes, nc)
+	}
+	return rig, nil
+}

@@ -1,0 +1,217 @@
+package config
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"thermctl/internal/workload"
+)
+
+func TestScenarioJSONRoundTrip(t *testing.T) {
+	in := `{
+		"name": "rt",
+		"nodes": 3,
+		"seed": 7,
+		"program": "lu",
+		"control": {
+			"fan": "dynamic", "dvfs": "tdvfs", "sleep": "ctlarray",
+			"tuning": {"pp": 25, "max_fan_duty": 80}
+		},
+		"chaos": {"seed": 9},
+		"metrics": {"enabled": true, "labels": {"rack": "r1"}}
+	}`
+	s, err := ReadScenario(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Nodes != 3 || s.Seed != 7 || s.Program != "lu" {
+		t.Errorf("topology = %d/%d/%s", s.Nodes, s.Seed, s.Program)
+	}
+	if s.Control.Sleep != "ctlarray" || s.Control.Tuning.Pp != 25 {
+		t.Errorf("control = %+v", s.Control)
+	}
+	if s.Chaos.HorizonMS != 60000 {
+		t.Errorf("chaos horizon not defaulted: %d", s.Chaos.HorizonMS)
+	}
+	if !s.Metrics.Enabled || s.Metrics.Labels["rack"] != "r1" {
+		t.Errorf("metrics = %+v", s.Metrics)
+	}
+}
+
+func TestScenarioRejectsUnknownFields(t *testing.T) {
+	if _, err := ReadScenario(strings.NewReader(`{"nodez": 4}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Scenario)
+		want string
+	}{
+		{"bad fan", func(s *Scenario) { s.Control.Fan = "turbo" }, "fan"},
+		{"bad dvfs", func(s *Scenario) { s.Control.DVFS = "ondemand" }, "dvfs"},
+		{"bad sleep", func(s *Scenario) { s.Control.Sleep = "deep" }, "sleep"},
+		{"bad program", func(s *Scenario) { s.Program = "ep" }, "program"},
+		{"negative workers", func(s *Scenario) { s.Workers = -1 }, "workers"},
+		{"bad pp", func(s *Scenario) { s.Control.Tuning.Pp = 200 }, "pp"},
+		{"chaos without control", func(s *Scenario) {
+			s.Control = ControlSpec{Fan: "auto", DVFS: "none", Sleep: "none", Tuning: Default()}
+			s.Chaos.Seed = 3
+		}, "chaos"},
+	}
+	for _, tc := range cases {
+		s := DefaultScenario()
+		s.Normalize()
+		tc.mut(&s)
+		err := s.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestScenarioBuildDefault builds the paper's standard run and checks
+// the rig shape: a hybrid per node, the program resolved, no plane.
+func TestScenarioBuildDefault(t *testing.T) {
+	s := DefaultScenario()
+	s.Nodes = 2
+	rig, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rig.Program == nil || rig.Plane != nil || rig.Registry != nil {
+		t.Fatalf("rig = program %v plane %v registry %v", rig.Program, rig.Plane, rig.Registry)
+	}
+	if len(rig.Nodes) != 2 {
+		t.Fatalf("node controls = %d, want 2", len(rig.Nodes))
+	}
+	for _, nc := range rig.Nodes {
+		if nc.Hybrid == nil || nc.Fan == nil || nc.TDVFS == nil || nc.Sleep != nil {
+			t.Errorf("default wiring = %+v, want hybrid over fan+tdvfs", nc)
+		}
+		if len(nc.Controllers) != 1 {
+			t.Errorf("controllers = %d, want 1 (the hybrid)", len(nc.Controllers))
+		}
+	}
+}
+
+// TestScenarioBuildSleepOnFan: sleep=ctlarray with a dynamic fan hosts
+// the C-state actuator as the second binding of the fan's array — and a
+// full generator-driven cluster run completes with the array engaged.
+func TestScenarioBuildSleepOnFan(t *testing.T) {
+	s := DefaultScenario()
+	s.Nodes = 2
+	s.Program = ""
+	s.Control.Sleep = "ctlarray"
+	rig, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc := rig.Nodes[0]
+	if nc.Fan == nil || nc.Sleep != nil {
+		t.Fatalf("wiring = %+v, want the sleep actuator on the fan controller", nc)
+	}
+	b := nc.Fan.Binding()
+	if b.Slots() != 2 {
+		t.Fatalf("fan binding slots = %d, want fan+cstates", b.Slots())
+	}
+	if got := b.Actuator(1).Name(); got != "cstates" {
+		t.Fatalf("second actuator = %q, want cstates", got)
+	}
+
+	rig.Cluster.RunGenerator(workload.Constant(0.95), 120*time.Second)
+	if mode := nc.Fan.Policy().Mode(1); mode == 0 {
+		t.Error("C-state array never left C0 under sustained near-full load")
+	}
+	if b.Moves(1) == 0 {
+		t.Error("no sleep-state moves recorded")
+	}
+}
+
+// TestScenarioBuildStandaloneSleep: with no dynamic fan controller the
+// sleep-state array runs as its own ctlarray controller.
+func TestScenarioBuildStandaloneSleep(t *testing.T) {
+	s := DefaultScenario()
+	s.Nodes = 1
+	s.Program = ""
+	s.Control = ControlSpec{Fan: "auto", DVFS: "none", Sleep: "ctlarray", Tuning: Default()}
+	rig, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc := rig.Nodes[0]
+	if nc.Sleep == nil || nc.Fan != nil || nc.Hybrid != nil {
+		t.Fatalf("wiring = %+v, want a standalone sleep controller", nc)
+	}
+	if got := nc.Sleep.Binding().Actuator(0).Name(); got != "cstates" {
+		t.Fatalf("actuator = %q, want cstates", got)
+	}
+	rig.Cluster.RunGenerator(workload.Constant(0.9), 60*time.Second)
+	if nc.Sleep.Binding().Moves(0) == 0 {
+		t.Error("standalone sleep array never moved")
+	}
+}
+
+// TestScenarioBuildChaosAndMetrics: chaos builds a plane, metrics build
+// a registry, and controller series carry node plus constant labels.
+func TestScenarioBuildChaosAndMetrics(t *testing.T) {
+	s := DefaultScenario()
+	s.Nodes = 2
+	s.Program = ""
+	s.Chaos = ChaosSpec{Seed: 11, HorizonMS: 30000}
+	s.Metrics = MetricsSpec{Enabled: true, Labels: map[string]string{"rack": "r9"}}
+	rig, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rig.Plane == nil || rig.Registry == nil {
+		t.Fatalf("plane %v registry %v, want both", rig.Plane, rig.Registry)
+	}
+	var sb strings.Builder
+	if err := rig.Registry.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	body := sb.String()
+	for _, want := range []string{
+		`thermctl_controller_rounds_total{node="node0",rack="r9"}`,
+		`thermctl_controller_rounds_total{node="node1",rack="r9"}`,
+		`thermctl_tdvfs_rounds_total{node="node0",rack="r9"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestScenarioBuildMatchesHandWiring: the built default run must be
+// step-for-step identical to the pre-scenario hand wiring (the hybrid
+// path the goldens pin); spot-check by running the program and
+// comparing the end state across two independent builds.
+func TestScenarioBuildDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full BT runs")
+	}
+	run := func() (float64, float64, uint64) {
+		s := DefaultScenario()
+		s.Nodes = 2
+		rig, err := s.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := rig.Cluster.RunProgram(*rig.Program, 0)
+		n := rig.Cluster.Nodes[0]
+		return res.ExecTime.Seconds(), n.Meter.AverageW(), rig.Nodes[0].Hybrid.Errors()
+	}
+	t1, w1, e1 := run()
+	t2, w2, e2 := run()
+	if t1 != t2 || w1 != w2 || e1 != e2 {
+		t.Errorf("same scenario, different runs: %v/%v/%v vs %v/%v/%v", t1, w1, e1, t2, w2, e2)
+	}
+}

@@ -2,11 +2,8 @@ package core
 
 import (
 	"fmt"
-	"math"
-	"sync/atomic"
 	"time"
 
-	"thermctl/internal/core/ctlarray"
 	"thermctl/internal/core/window"
 )
 
@@ -54,51 +51,40 @@ func DefaultConfig(pp int) Config {
 	}
 }
 
-// boundActuator is one actuator bound to its control array and index.
-type boundActuator struct {
-	act   Actuator
-	arr   *ctlarray.Array
-	coef  float64 // c = (N-1)/(Tmax-Tmin)
-	idx   int
-	moves uint64
-	// l2Cooldown throttles level-two (gradual) corrections so a
-	// sustained drift is not integrated once per round across the whole
-	// FIFO span.
-	l2Cooldown int
-	// fsRetry marks a fail-safe escalation whose Apply has not yet
-	// succeeded; it is retried on every subsequent sample.
-	fsRetry bool
+// withDefaults fills zero fields, mirroring the historical NewController
+// normalization.
+func (cfg Config) withDefaults() Config {
+	if cfg.Window.L1Size == 0 {
+		cfg.Window = window.Default()
+	}
+	if cfg.MaxLeadC == 0 {
+		cfg.MaxLeadC = 7
+	}
+	cfg.FailSafe = cfg.FailSafe.withDefaults()
+	return cfg
+}
+
+// validate rejects unusable ranges.
+func (cfg Config) validate() error {
+	if cfg.TmaxC <= cfg.TminC {
+		return fmt.Errorf("core: Tmax %v must exceed Tmin %v", cfg.TmaxC, cfg.TminC)
+	}
+	if cfg.SamplePeriod <= 0 {
+		return fmt.Errorf("core: non-positive sample period")
+	}
+	return nil
 }
 
 // Controller is the unified dynamic thermal controller of §3.2: one
 // temperature stream, one two-level history window, one policy
-// parameter, any number of actuators. It implements the cluster
-// Controller interface via OnStep.
+// parameter, any number of actuators. Since the control-plane
+// unification it is a facade over the engine — a Binding hosting the
+// CtlArrayPolicy — kept for its stable constructor and observability
+// surface. It implements the cluster Controller interface via OnStep.
 type Controller struct {
-	cfg       Config
-	read      TempReader
-	win       *window.Window
-	acts      []*boundActuator
-	next      time.Duration
-	anchor    bool
-	holdFloor bool
-
-	// errs is atomic: daemons read Errors()/Status() from their -listen
-	// goroutines while OnStep writes from the control loop.
-	errs atomic.Uint64
-
-	// fail-safe degradation state (see FailSafeConfig). Read and
-	// actuation failures are counted separately: reads fail once per
-	// sample, actuations only on rounds that move an index, and a run
-	// of either kind must escalate.
-	consecReadErrs  int
-	consecApplyErrs int
-	cleanSamples    int
-	failSafe        bool
-	fsEvents        []FailSafeEvent
-	// mt holds the optional metric handles (see InstrumentMetrics in
-	// metrics.go); every handle is nil-safe.
-	mt controllerMetrics
+	cfg Config
+	b   *Binding
+	pol *CtlArrayPolicy
 }
 
 // ActuatorBinding attaches an actuator with an explicit array bound N;
@@ -111,17 +97,8 @@ type ActuatorBinding struct {
 
 // NewController builds a controller over the given actuators.
 func NewController(cfg Config, read TempReader, bindings ...ActuatorBinding) (*Controller, error) {
-	if cfg.TmaxC <= cfg.TminC {
-		return nil, fmt.Errorf("core: Tmax %v must exceed Tmin %v", cfg.TmaxC, cfg.TminC)
-	}
-	if cfg.SamplePeriod <= 0 {
-		return nil, fmt.Errorf("core: non-positive sample period")
-	}
-	if cfg.Window.L1Size == 0 {
-		cfg.Window = window.Default()
-	}
-	if cfg.MaxLeadC == 0 {
-		cfg.MaxLeadC = 7
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
 	if read == nil {
 		return nil, fmt.Errorf("core: nil temperature reader")
@@ -129,59 +106,57 @@ func NewController(cfg Config, read TempReader, bindings ...ActuatorBinding) (*C
 	if len(bindings) == 0 {
 		return nil, fmt.Errorf("core: controller needs at least one actuator")
 	}
-	cfg.FailSafe = cfg.FailSafe.withDefaults()
-	c := &Controller{
-		cfg:  cfg,
-		read: read,
-		win:  window.New(cfg.Window),
-		next: cfg.SamplePeriod,
+	cfg = cfg.withDefaults()
+	pol, err := NewCtlArrayPolicy(cfg, bindings...)
+	if err != nil {
+		return nil, err
 	}
-	for _, b := range bindings {
-		m := b.Actuator.NumModes()
-		n := b.N
-		if n == 0 {
-			n = m
-			if n < 10 {
-				n = 2 * m
-			}
-		}
-		arr, err := ctlarray.New(n, m, cfg.Pp)
-		if err != nil {
-			return nil, err
-		}
-		c.acts = append(c.acts, &boundActuator{
-			act:  b.Actuator,
-			arr:  arr,
-			coef: float64(n-1) / (cfg.TmaxC - cfg.TminC),
-		})
+	acts := make([]Actuator, len(bindings))
+	for i, bd := range bindings {
+		acts[i] = bd.Actuator
 	}
-	return c, nil
+	win := cfg.Window
+	b, err := NewBinding(BindingConfig{
+		Policy:       pol,
+		Read:         read,
+		SamplePeriod: cfg.SamplePeriod,
+		Window:       &win,
+		FailSafe:     cfg.FailSafe,
+		Actuators:    acts,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Controller{cfg: cfg, b: b, pol: pol}, nil
 }
+
+// Binding exposes the engine binding hosting this controller, for
+// composition into an Engine (the hybrid coordinator does this).
+func (c *Controller) Binding() *Binding { return c.b }
+
+// Policy exposes the hosted ctlarray policy.
+func (c *Controller) Policy() *CtlArrayPolicy { return c.pol }
 
 // Window exposes the controller's history window (read-only use:
 // classification, diagnostics).
-func (c *Controller) Window() *window.Window { return c.win }
+func (c *Controller) Window() *window.Window { return c.b.Window() }
 
 // Errors returns the count of failed sensor reads or actuations. Safe
 // to call concurrently with the control loop.
-func (c *Controller) Errors() uint64 { return c.errs.Load() }
+func (c *Controller) Errors() uint64 { return c.b.Errors() }
 
 // FailSafe reports whether the fail-safe escalation is currently
 // holding every actuator at its most effective mode.
-func (c *Controller) FailSafe() bool { return c.failSafe }
+func (c *Controller) FailSafe() bool { return c.b.FailSafe() }
 
 // FailSafeEvents returns a copy of the escalation/recovery event log.
-func (c *Controller) FailSafeEvents() []FailSafeEvent {
-	out := make([]FailSafeEvent, len(c.fsEvents))
-	copy(out, c.fsEvents)
-	return out
-}
+func (c *Controller) FailSafeEvents() []FailSafeEvent { return c.b.FailSafeEvents() }
 
 // Moves returns the number of mode changes applied to actuator i.
-func (c *Controller) Moves(i int) uint64 { return c.acts[i].moves }
+func (c *Controller) Moves(i int) uint64 { return c.b.Moves(i) }
 
 // Index returns the current control-array index of actuator i.
-func (c *Controller) Index(i int) int { return c.acts[i].idx }
+func (c *Controller) Index(i int) int { return c.pol.Index(i) }
 
 // ActuatorStatus is one actuator's view in a Status snapshot.
 type ActuatorStatus struct {
@@ -221,22 +196,23 @@ type Status struct {
 // Status returns an observability snapshot, for daemons' status
 // endpoints and logs.
 func (c *Controller) Status() Status {
+	win := c.b.Window()
 	st := Status{
 		Pp:        c.cfg.Pp,
-		AvgC:      c.win.Avg(),
-		DeltaL1:   c.win.DeltaL1(),
-		DeltaL2:   c.win.DeltaL2(),
-		Behavior:  c.win.Classify(window.DefaultClassify()).String(),
-		HoldFloor: c.holdFloor,
-		FailSafe:  c.failSafe,
-		Errors:    c.errs.Load(),
+		AvgC:      win.Avg(),
+		DeltaL1:   win.DeltaL1(),
+		DeltaL2:   win.DeltaL2(),
+		Behavior:  win.Classify(window.DefaultClassify()).String(),
+		HoldFloor: c.pol.HoldFloor(),
+		FailSafe:  c.b.FailSafe(),
+		Errors:    c.b.Errors(),
 	}
-	for _, ba := range c.acts {
+	for i := range c.pol.slots {
 		st.Actuators = append(st.Actuators, ActuatorStatus{
-			Name:  ba.act.Name(),
-			Index: ba.idx,
-			Mode:  ba.arr.Mode(ba.idx),
-			Moves: ba.moves,
+			Name:  c.b.Actuator(i).Name(),
+			Index: c.pol.Index(i),
+			Mode:  c.pol.Mode(i),
+			Moves: c.b.Moves(i),
 		})
 	}
 	return st
@@ -259,186 +235,11 @@ func (s Status) String() string {
 // reductions); increases stay allowed. The Hybrid coordinator uses it
 // to stop the out-of-band knob from relaxing while the in-band knob is
 // engaged.
-func (c *Controller) SetHoldFloor(hold bool) {
-	c.holdFloor = hold
-	c.mt.holdFloor.SetBool(hold)
-}
+func (c *Controller) SetHoldFloor(hold bool) { c.pol.SetHoldFloor(hold) }
 
 // OnStep samples and, on each completed window round, updates every
-// actuator. Call it once per simulation step with the current time.
-//
-// Error handling is the fail-safe degradation policy: a failed read (or
-// actuation) is counted, and EscalateErrors consecutive failures drive
-// every actuator to its most effective mode — a blind controller must
-// cool maximally, not skip rounds while the die cooks. The escalation
-// releases after RecoverSamples consecutive clean samples, after which
-// the history window has fresh data and normal control resumes.
-func (c *Controller) OnStep(now time.Duration) {
-	if now < c.next {
-		return
-	}
-	c.next += c.cfg.SamplePeriod
-	t, err := c.read()
-	if err != nil {
-		c.errs.Add(1)
-		c.mt.errors.Inc()
-		c.cleanSamples = 0
-		c.consecReadErrs++
-		if c.consecReadErrs >= c.cfg.FailSafe.EscalateErrors {
-			c.escalate(now)
-		}
-		if c.failSafe {
-			c.applyFailSafe()
-		}
-		return
-	}
-	c.consecReadErrs = 0
-	if c.failSafe {
-		// Hold the escalated modes while re-qualifying the sensor; keep
-		// the window warm so control resumes from fresh history.
-		c.applyFailSafe()
-		c.cleanSamples++
-		if c.cleanSamples >= c.cfg.FailSafe.RecoverSamples && !c.fsPending() {
-			c.release(now)
-		}
-		c.win.Add(t)
-		return
-	}
-	if !c.win.Add(t) {
-		return
-	}
-	c.mt.rounds.Inc()
-	if !c.anchor {
-		// First completed round: anchor each actuator's index to the
-		// absolute temperature so a controller started on an already
-		// hot machine begins from a proportionate mode.
-		c.anchor = true
-		avg := c.win.Avg()
-		for _, ba := range c.acts {
-			ba.idx = ba.arr.Clamp(int(math.Round(ba.coef * (avg - c.cfg.TminC))))
-			c.apply(now, ba)
-		}
-		return
-	}
-	for _, ba := range c.acts {
-		c.decide(now, ba)
-	}
-}
-
-// escalate enters the fail-safe hold: every actuator is driven to its
-// most effective mode until the escalation releases.
-func (c *Controller) escalate(now time.Duration) {
-	if c.failSafe || c.cfg.FailSafe.Disable {
-		return
-	}
-	c.failSafe = true
-	c.cleanSamples = 0
-	c.fsEvents = append(c.fsEvents, FailSafeEvent{At: now, Engaged: true})
-	c.mt.escalations.Inc()
-	c.mt.failSafe.SetBool(true)
-	for _, ba := range c.acts {
-		ba.idx = ba.arr.Len() - 1
-		ba.fsRetry = true
-	}
-}
-
-// fsPending reports whether any escalated Apply has not landed yet.
-func (c *Controller) fsPending() bool {
-	for _, ba := range c.acts {
-		if ba.fsRetry {
-			return true
-		}
-	}
-	return false
-}
-
-// applyFailSafe drives every actuator whose escalation has not stuck yet
-// to its most effective mode, retrying on later samples until the write
-// lands (the bus may be failing too).
-func (c *Controller) applyFailSafe() {
-	for _, ba := range c.acts {
-		if !ba.fsRetry {
-			continue
-		}
-		if err := ba.act.Apply(ba.arr.Mode(ba.idx)); err != nil {
-			c.errs.Add(1)
-			c.mt.errors.Inc()
-			continue
-		}
-		ba.fsRetry = false
-		ba.moves++
-		c.mt.modeTransitions.Inc()
-	}
-}
-
-// release ends the fail-safe hold: the anti-windup band around the
-// fresh window average pulls the index back to a proportionate mode on
-// the following rounds.
-func (c *Controller) release(now time.Duration) {
-	c.failSafe = false
-	c.cleanSamples = 0
-	c.consecApplyErrs = 0
-	c.fsEvents = append(c.fsEvents, FailSafeEvent{At: now, Engaged: false})
-	c.mt.recoveries.Inc()
-	c.mt.failSafe.SetBool(false)
-}
-
-// decide performs the paper's index update for one actuator: try
-// i + c·Δt_L1; if that does not change the index, try i + c·Δt_L2
-// (throttled to once per FIFO span so sustained drift is not multiply
-// counted). The result is then held inside the anti-windup lead band
-// around the absolute anchor c·(T−Tmin).
-func (c *Controller) decide(now time.Duration, ba *boundActuator) {
-	if ba.l2Cooldown > 0 {
-		ba.l2Cooldown--
-	}
-	di := int(math.Round(ba.coef * c.win.DeltaL1()))
-	usedL2 := false
-	if di == 0 && ba.l2Cooldown == 0 && c.win.L2Full() {
-		c.mt.l2Fallbacks.Inc()
-		di = int(math.Round(ba.coef * c.win.DeltaL2()))
-		usedL2 = di != 0
-	}
-	if di < 0 && c.holdFloor {
-		di = 0
-	}
-	target := ba.idx + di
-
-	// Anti-windup: the index may lead the static anchor by at most
-	// MaxLeadC degrees (proactivity) and must not lag it by more
-	// (reactivity floor). Downward corrections are suppressed while
-	// the hybrid holds the fan floor.
-	center := ba.coef * (c.win.Avg() - c.cfg.TminC)
-	lead := ba.coef * c.cfg.MaxLeadC
-	if hi := int(math.Floor(center + lead)); target > hi && !(c.holdFloor && hi < ba.idx) {
-		target = hi
-	}
-	if lo := int(math.Ceil(center - lead)); target < lo {
-		target = lo
-	}
-
-	target = ba.arr.Clamp(target)
-	if target == ba.idx {
-		return
-	}
-	ba.idx = target
-	if usedL2 {
-		ba.l2Cooldown = c.cfg.Window.L2Size
-	}
-	c.apply(now, ba)
-}
-
-func (c *Controller) apply(now time.Duration, ba *boundActuator) {
-	if err := ba.act.Apply(ba.arr.Mode(ba.idx)); err != nil {
-		c.errs.Add(1)
-		c.mt.errors.Inc()
-		c.consecApplyErrs++
-		if c.consecApplyErrs >= c.cfg.FailSafe.EscalateErrors {
-			c.escalate(now)
-		}
-		return
-	}
-	c.consecApplyErrs = 0
-	ba.moves++
-	c.mt.modeTransitions.Inc()
-}
+// actuator through the hosted ctlarray policy. Call it once per
+// simulation step with the current time. Sampling cadence, fail-safe
+// degradation and error accounting are the engine's (see
+// Binding.OnStep).
+func (c *Controller) OnStep(now time.Duration) { c.b.OnStep(now) }

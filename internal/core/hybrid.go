@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+	"sort"
 	"time"
 
 	"thermctl/internal/metrics"
@@ -21,11 +23,19 @@ import (
 // controller's index is held against downward moves. Upward fan moves
 // remain allowed: more out-of-band cooling is exactly what lets tDVFS
 // restore the nominal frequency sooner.
+//
+// Since the control-plane unification the coordination is expressed as
+// an Engine of two lanes — the tDVFS binding first, then the fan
+// binding behind a pre-step hook that transfers the engagement state —
+// so "coupled controllers" is ordering plus one hook, not a bespoke
+// loop.
 type Hybrid struct {
 	// Fan is the dynamic fan controller (out-of-band knob).
 	Fan *Controller
 	// DVFS is the tDVFS daemon (in-band knob).
 	DVFS *TDVFS
+
+	eng *Engine
 
 	// holdSteps is the optional nil-safe coordination counter (see
 	// InstrumentMetrics in metrics.go).
@@ -34,18 +44,96 @@ type Hybrid struct {
 
 // NewHybrid couples the two controllers.
 func NewHybrid(fan *Controller, dvfs *TDVFS) *Hybrid {
-	return &Hybrid{Fan: fan, DVFS: dvfs}
+	h := &Hybrid{Fan: fan, DVFS: dvfs, eng: NewEngine()}
+	h.eng.Attach(dvfs.Binding(), nil)
+	h.eng.Attach(fan.Binding(), func(time.Duration) {
+		engaged := dvfs.Engaged()
+		if engaged {
+			h.holdSteps.Inc()
+		}
+		fan.SetHoldFloor(engaged)
+	})
+	return h
 }
+
+// Engine exposes the two-lane engine hosting the coupled controllers.
+func (h *Hybrid) Engine() *Engine { return h.eng }
 
 // OnStep implements the cluster Controller interface: the DVFS daemon
 // decides first, then the fan controller runs with its floor held if
 // the in-band knob is engaged.
-func (h *Hybrid) OnStep(now time.Duration) {
-	h.DVFS.OnStep(now)
-	engaged := h.DVFS.Engaged()
-	if engaged {
-		h.holdSteps.Inc()
+func (h *Hybrid) OnStep(now time.Duration) { h.eng.OnStep(now) }
+
+// Errors returns the combined error count of both lanes. Safe to call
+// concurrently with the control loop.
+func (h *Hybrid) Errors() uint64 { return h.eng.Errors() }
+
+// FailSafe reports whether either lane's fail-safe escalation is
+// currently engaged.
+func (h *Hybrid) FailSafe() bool { return h.Fan.FailSafe() || h.DVFS.FailSafe() }
+
+// HybridFailSafeEvent is one lane's fail-safe edge in the merged log.
+type HybridFailSafeEvent struct {
+	// Lane names the controller that produced the event: "fan" or
+	// "dvfs".
+	Lane string
+	FailSafeEvent
+}
+
+// FailSafeEvents returns both lanes' escalation/recovery logs merged
+// into one timeline (stable-sorted by time, fan before dvfs on ties
+// only insofar as lane order preserves it).
+func (h *Hybrid) FailSafeEvents() []HybridFailSafeEvent {
+	var out []HybridFailSafeEvent
+	for _, ev := range h.Fan.FailSafeEvents() {
+		out = append(out, HybridFailSafeEvent{Lane: "fan", FailSafeEvent: ev})
 	}
-	h.Fan.SetHoldFloor(engaged)
-	h.Fan.OnStep(now)
+	for _, ev := range h.DVFS.FailSafeEvents() {
+		out = append(out, HybridFailSafeEvent{Lane: "dvfs", FailSafeEvent: ev})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// HybridStatus is a point-in-time observability snapshot covering both
+// lanes plus the coordination state, so daemons and reports need not
+// reach into the individual controllers.
+type HybridStatus struct {
+	// Fan is the fan lane's full snapshot.
+	Fan Status
+	// DVFSMode is the in-band lane's current physical mode (0 =
+	// nominal frequency); Engaged mirrors DVFSMode > 0.
+	DVFSMode int
+	Engaged  bool
+	// Downscales/Upscales count the in-band lane's decisions.
+	Downscales, Upscales uint64
+	// Errors is the combined error count; FailSafe is true if either
+	// lane is escalated.
+	Errors   uint64
+	FailSafe bool
+}
+
+// Status returns the aggregated snapshot.
+func (h *Hybrid) Status() HybridStatus {
+	return HybridStatus{
+		Fan:        h.Fan.Status(),
+		DVFSMode:   h.DVFS.CurrentMode(),
+		Engaged:    h.DVFS.Engaged(),
+		Downscales: h.DVFS.Downscales(),
+		Upscales:   h.DVFS.Upscales(),
+		Errors:     h.Errors(),
+		FailSafe:   h.FailSafe(),
+	}
+}
+
+// String renders the snapshot as a single log line.
+func (s HybridStatus) String() string {
+	out := s.Fan.String()
+	out += fmt.Sprintf(" dvfs[mode=%d engaged=%v down=%d up=%d]",
+		s.DVFSMode, s.Engaged, s.Downscales, s.Upscales)
+	out += fmt.Sprintf(" total-errs=%d", s.Errors)
+	if s.FailSafe {
+		out += " FAILSAFE"
+	}
+	return out
 }

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// buildAggHybrid wires a hybrid whose shared sensor dies permanently
+// after n reads, over in-memory ports, so both lanes escalate.
+func buildAggHybrid(t *testing.T, goodReads int) (*Hybrid, *fakeFanPort) {
+	t.Helper()
+	reads := 0
+	read := func() (float64, error) {
+		reads++
+		if reads > goodReads {
+			return 0, errors.New("sensor dead")
+		}
+		return 50, nil
+	}
+	port := &fakeFanPort{}
+	fan, err := NewController(DefaultConfig(50), read,
+		ActuatorBinding{Actuator: NewFanActuator(port, 100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, act := newDVFSRig(t)
+	dvfs, err := NewTDVFS(DefaultTDVFSConfig(50), read, act)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewHybrid(fan, dvfs), port
+}
+
+// The aggregated surface exists so reports and smoke tests need not
+// reach into h.Fan / h.DVFS: combined error count, either-lane
+// fail-safe flag, one tagged event timeline, one status snapshot.
+func TestHybridAggregatedObservability(t *testing.T) {
+	h, port := buildAggHybrid(t, 40)
+	period := 250 * time.Millisecond
+	for i := 1; i <= 120; i++ {
+		h.OnStep(time.Duration(i) * period)
+	}
+
+	if want := h.Fan.Errors() + h.DVFS.Errors(); h.Errors() != want {
+		t.Errorf("Errors = %d, want lane sum %d", h.Errors(), want)
+	}
+	if h.Errors() == 0 {
+		t.Fatal("no errors counted under a dead sensor")
+	}
+	if !h.FailSafe() {
+		t.Fatal("aggregated FailSafe false while lanes are escalated")
+	}
+	if port.duty != 100 {
+		t.Errorf("fan at %v%% under fail-safe, want 100", port.duty)
+	}
+
+	ev := h.FailSafeEvents()
+	lanes := map[string]int{}
+	for i, e := range ev {
+		lanes[e.Lane]++
+		if i > 0 && ev[i-1].At > e.At {
+			t.Errorf("merged events out of order: %v after %v", e.At, ev[i-1].At)
+		}
+	}
+	if lanes["fan"] == 0 || lanes["dvfs"] == 0 {
+		t.Errorf("merged timeline missing a lane: %v", lanes)
+	}
+	if lanes["fan"]+lanes["dvfs"] != len(ev) {
+		t.Errorf("unknown lane tags in %v", lanes)
+	}
+
+	st := h.Status()
+	if !st.FailSafe || st.Errors != h.Errors() {
+		t.Errorf("Status = %+v, want FailSafe true and Errors %d", st, h.Errors())
+	}
+	if !st.Engaged || st.DVFSMode != h.DVFS.CurrentMode() {
+		t.Errorf("Status DVFS view = engaged=%v mode=%d, want engaged at mode %d",
+			st.Engaged, st.DVFSMode, h.DVFS.CurrentMode())
+	}
+	if st.String() == "" {
+		t.Error("empty status line")
+	}
+}

@@ -2,10 +2,8 @@ package core
 
 import (
 	"fmt"
-	"sync/atomic"
 	"time"
 
-	"thermctl/internal/core/ctlarray"
 	"thermctl/internal/core/window"
 )
 
@@ -83,55 +81,9 @@ func DefaultTDVFSConfig(pp int) TDVFSConfig {
 	}
 }
 
-// TDVFS is the temperature-aware DVFS daemon. Unlike the continuous fan
-// controller, it is threshold-gated: frequency is not touched at all
-// until heat demonstrably exceeds what the fan can remove, minimizing
-// the in-band technique's performance cost.
-type TDVFS struct {
-	cfg  TDVFSConfig
-	read TempReader
-	act  *DVFSActuator
-	arr  *ctlarray.Array
-	win  *window.Window
-
-	curMode  int // physical mode currently applied (0 = nominal frequency)
-	next     time.Duration
-	cooldown int
-	downs    uint64
-	ups      uint64
-
-	// errs is atomic: daemons read Errors() from their -listen goroutines
-	// while OnStep writes from the control loop.
-	errs atomic.Uint64
-
-	// fail-safe degradation state, mirroring the unified controller's
-	// (see FailSafeConfig): fsRetry marks an escalation whose Apply has
-	// not landed yet.
-	consecReadErrs  int
-	consecApplyErrs int
-	cleanSamples    int
-	failSafe        bool
-	fsRetry         bool
-	fsEvents        []FailSafeEvent
-
-	// trigger bookkeeping for the experiments: when the first
-	// scale-down happened.
-	firstDownAt time.Duration
-	triggered   bool
-
-	// mt holds the optional metric handles (see InstrumentMetrics in
-	// metrics.go); every handle is nil-safe.
-	mt tdvfsMetrics
-}
-
-// NewTDVFS builds the daemon over a DVFS actuator.
-func NewTDVFS(cfg TDVFSConfig, read TempReader, act *DVFSActuator) (*TDVFS, error) {
-	if read == nil || act == nil {
-		return nil, fmt.Errorf("core: tdvfs needs a reader and an actuator")
-	}
-	if cfg.SamplePeriod <= 0 {
-		return nil, fmt.Errorf("core: tdvfs: non-positive sample period")
-	}
+// withDefaults fills zero fields, mirroring the historical NewTDVFS
+// normalization.
+func (cfg TDVFSConfig) withDefaults() TDVFSConfig {
 	if cfg.Window.L1Size == 0 {
 		cfg.Window = window.Default()
 	}
@@ -148,205 +100,89 @@ func NewTDVFS(cfg TDVFSConfig, read TempReader, act *DVFSActuator) (*TDVFS, erro
 		cfg.EmergencyMarginC = 8
 	}
 	cfg.FailSafe = cfg.FailSafe.withDefaults()
-	arr, err := ctlarray.New(cfg.N, act.NumModes(), cfg.Pp)
+	return cfg
+}
+
+// TDVFS is the temperature-aware DVFS daemon. Unlike the continuous fan
+// controller, it is threshold-gated: frequency is not touched at all
+// until heat demonstrably exceeds what the fan can remove, minimizing
+// the in-band technique's performance cost. Since the control-plane
+// unification it is a facade over the engine — a Binding hosting the
+// ThresholdPolicy — kept for its stable constructor and observability
+// surface.
+type TDVFS struct {
+	cfg TDVFSConfig
+	b   *Binding
+	pol *ThresholdPolicy
+	act *DVFSActuator
+}
+
+// NewTDVFS builds the daemon over a DVFS actuator.
+func NewTDVFS(cfg TDVFSConfig, read TempReader, act *DVFSActuator) (*TDVFS, error) {
+	if read == nil || act == nil {
+		return nil, fmt.Errorf("core: tdvfs needs a reader and an actuator")
+	}
+	if cfg.SamplePeriod <= 0 {
+		return nil, fmt.Errorf("core: tdvfs: non-positive sample period")
+	}
+	cfg = cfg.withDefaults()
+	pol, err := NewThresholdPolicy(cfg, act.NumModes())
 	if err != nil {
 		return nil, err
 	}
-	return &TDVFS{
-		cfg:  cfg,
-		read: read,
-		act:  act,
-		arr:  arr,
-		win:  window.New(cfg.Window),
-		next: cfg.SamplePeriod,
-	}, nil
+	win := cfg.Window
+	b, err := NewBinding(BindingConfig{
+		Policy:       pol,
+		Read:         read,
+		SamplePeriod: cfg.SamplePeriod,
+		Window:       &win,
+		FailSafe:     cfg.FailSafe,
+		Actuators:    []Actuator{act},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &TDVFS{cfg: cfg, b: b, pol: pol, act: act}, nil
 }
 
+// Binding exposes the engine binding hosting this daemon, for
+// composition into an Engine (the hybrid coordinator does this).
+func (d *TDVFS) Binding() *Binding { return d.b }
+
+// Policy exposes the hosted threshold policy.
+func (d *TDVFS) Policy() *ThresholdPolicy { return d.pol }
+
 // Downscales returns the number of scale-down decisions taken.
-func (d *TDVFS) Downscales() uint64 { return d.downs }
+func (d *TDVFS) Downscales() uint64 { return d.pol.Downscales() }
 
 // Upscales returns the number of restore decisions taken.
-func (d *TDVFS) Upscales() uint64 { return d.ups }
+func (d *TDVFS) Upscales() uint64 { return d.pol.Upscales() }
 
 // Errors returns the count of failed reads or actuations. Safe to call
 // concurrently with the control loop.
-func (d *TDVFS) Errors() uint64 { return d.errs.Load() }
+func (d *TDVFS) Errors() uint64 { return d.b.Errors() }
 
 // FailSafe reports whether the fail-safe escalation is currently
 // holding the CPU at its frequency floor.
-func (d *TDVFS) FailSafe() bool { return d.failSafe }
+func (d *TDVFS) FailSafe() bool { return d.b.FailSafe() }
 
 // FailSafeEvents returns a copy of the escalation/recovery event log.
-func (d *TDVFS) FailSafeEvents() []FailSafeEvent {
-	out := make([]FailSafeEvent, len(d.fsEvents))
-	copy(out, d.fsEvents)
-	return out
-}
+func (d *TDVFS) FailSafeEvents() []FailSafeEvent { return d.b.FailSafeEvents() }
 
 // TriggeredAt returns when the first scale-down happened and whether
 // one happened at all — the coordination observable of Figure 10.
-func (d *TDVFS) TriggeredAt() (time.Duration, bool) { return d.firstDownAt, d.triggered }
+func (d *TDVFS) TriggeredAt() (time.Duration, bool) { return d.pol.TriggeredAt() }
 
 // CurrentMode returns the physical mode currently applied (0 is the
 // nominal frequency).
-func (d *TDVFS) CurrentMode() int { return d.curMode }
+func (d *TDVFS) CurrentMode() int { return d.pol.CurrentMode() }
 
 // Engaged reports whether the daemon is holding the CPU below its
 // nominal frequency.
-func (d *TDVFS) Engaged() bool { return d.curMode > 0 }
+func (d *TDVFS) Engaged() bool { return d.pol.Engaged() }
 
-// OnStep samples and decides. Implements the cluster Controller
-// interface.
-//
-// Error handling is the fail-safe degradation policy shared with the
-// unified controller: EscalateErrors consecutive failed reads or
-// actuations drive the CPU to its frequency floor (the most effective
-// in-band mode) rather than silently skipping rounds, and control
-// resumes after RecoverSamples consecutive clean samples.
-func (d *TDVFS) OnStep(now time.Duration) {
-	if now < d.next {
-		return
-	}
-	d.next += d.cfg.SamplePeriod
-	t, err := d.read()
-	if err != nil {
-		d.errs.Add(1)
-		d.mt.errors.Inc()
-		d.cleanSamples = 0
-		d.consecReadErrs++
-		if d.consecReadErrs >= d.cfg.FailSafe.EscalateErrors {
-			d.escalate(now)
-		}
-		if d.failSafe {
-			d.applyFailSafe()
-		}
-		return
-	}
-	d.consecReadErrs = 0
-	if d.failSafe {
-		// Hold the frequency floor while re-qualifying the sensor; keep
-		// the window warm so control resumes from fresh history.
-		d.applyFailSafe()
-		d.cleanSamples++
-		if d.cleanSamples >= d.cfg.FailSafe.RecoverSamples && !d.fsRetry {
-			d.release(now)
-		}
-		d.win.Add(t)
-		return
-	}
-	if !d.win.Add(t) {
-		return
-	}
-	d.mt.rounds.Inc()
-	if d.cooldown > 0 {
-		d.cooldown--
-		return
-	}
-
-	rising := d.win.DeltaL2() > d.cfg.TrendEpsilonC
-	emergency := d.win.AllL2Above(d.cfg.ThresholdC + d.cfg.EmergencyMarginC)
-	switch {
-	case (d.win.AllL2Above(d.cfg.ThresholdC) && rising) || emergency:
-		// Average temperature consistently above threshold: move to the
-		// least-effective array mode that still exceeds the current
-		// one. How far that jumps is exactly what Pp encodes: at Pp=50
-		// the array holds every P-state, so this is one step
-		// (2.4→2.2 GHz); at Pp=25 the array skips states, jumping
-		// 2.4→2.0 GHz (the paper's Figure 10 markers).
-		next := -1
-		for i := 0; i < d.arr.Len(); i++ {
-			if m := d.arr.Mode(i); m > d.curMode {
-				next = m
-				break
-			}
-		}
-		if next < 0 {
-			return // already at the most effective mode
-		}
-		if err := d.act.Apply(next); err != nil {
-			d.applyErr(now)
-			return
-		}
-		d.consecApplyErrs = 0
-		d.curMode = next
-		d.downs++
-		d.mt.downscales.Inc()
-		d.mt.engaged.SetBool(true)
-		if !d.triggered {
-			d.triggered = true
-			d.firstDownAt = now
-		}
-		d.cooldown = d.cfg.CooldownRounds
-
-	case d.curMode > 0 && d.win.AllL2Below(d.cfg.ThresholdC-d.cfg.HysteresisC):
-		// Consistently below threshold: restore the original (nominal)
-		// frequency directly, as the paper's Figures 8 and 10 show
-		// (2.2→2.4 and 2.0→2.4 in one step).
-		if err := d.act.Apply(0); err != nil {
-			d.applyErr(now)
-			return
-		}
-		d.consecApplyErrs = 0
-		d.curMode = 0
-		d.ups++
-		d.mt.upscales.Inc()
-		d.mt.engaged.SetBool(false)
-		d.cooldown = d.cfg.CooldownRounds
-	}
-}
-
-// applyErr records a failed actuation and escalates on a run of them.
-func (d *TDVFS) applyErr(now time.Duration) {
-	d.errs.Add(1)
-	d.mt.errors.Inc()
-	d.consecApplyErrs++
-	if d.consecApplyErrs >= d.cfg.FailSafe.EscalateErrors {
-		d.escalate(now)
-	}
-}
-
-// escalate enters the fail-safe hold: the CPU is driven to its
-// frequency floor until the escalation releases.
-func (d *TDVFS) escalate(now time.Duration) {
-	if d.failSafe || d.cfg.FailSafe.Disable {
-		return
-	}
-	d.failSafe = true
-	d.cleanSamples = 0
-	d.fsRetry = true
-	d.fsEvents = append(d.fsEvents, FailSafeEvent{At: now, Engaged: true})
-	d.mt.escalations.Inc()
-	d.mt.failSafe.SetBool(true)
-}
-
-// applyFailSafe drives the CPU to the frequency floor if the escalated
-// Apply has not landed yet, retrying on later samples until the write
-// sticks (the transport may be failing too). A landed floor sets
-// curMode, so Engaged() holds the hybrid fan floor throughout.
-func (d *TDVFS) applyFailSafe() {
-	if !d.fsRetry {
-		return
-	}
-	floor := d.act.NumModes() - 1
-	if err := d.act.Apply(floor); err != nil {
-		d.errs.Add(1)
-		d.mt.errors.Inc()
-		return
-	}
-	d.fsRetry = false
-	d.curMode = floor
-	d.mt.engaged.SetBool(floor > 0)
-}
-
-// release ends the fail-safe hold. The frequency stays at the floor;
-// the normal restore path (consistently below threshold − hysteresis)
-// brings it back to nominal once the cooldown elapses.
-func (d *TDVFS) release(now time.Duration) {
-	d.failSafe = false
-	d.cleanSamples = 0
-	d.consecApplyErrs = 0
-	d.cooldown = d.cfg.CooldownRounds
-	d.fsEvents = append(d.fsEvents, FailSafeEvent{At: now, Engaged: false})
-	d.mt.recoveries.Inc()
-	d.mt.failSafe.SetBool(false)
-}
+// OnStep samples and decides through the hosted threshold policy.
+// Implements the cluster Controller interface. Sampling cadence,
+// fail-safe degradation and error accounting are the engine's (see
+// Binding.OnStep).
+func (d *TDVFS) OnStep(now time.Duration) { d.b.OnStep(now) }

@@ -1,8 +1,13 @@
 package cstates
 
 import (
+	"errors"
+	"strconv"
+	"strings"
 	"testing"
+	"time"
 
+	"thermctl/internal/core"
 	"thermctl/internal/cpu"
 	"thermctl/internal/hwmon"
 )
@@ -84,5 +89,84 @@ func TestActuatorRoundTrip(t *testing.T) {
 	}
 	if c.IdleFactor() != 0.25 {
 		t.Errorf("final idle factor %v", c.IdleFactor())
+	}
+}
+
+func TestActuatorErrorsOnMissingFile(t *testing.T) {
+	fs := hwmon.NewFS()
+	a := NewActuator(fs, Paths{MaxState: "/sys/devices/system/cpu/cpu0/cpuidle/max_state"})
+	if err := a.Apply(1); err == nil {
+		t.Error("Apply on an unmounted cpuidle file succeeded")
+	}
+	if _, err := a.Current(); err == nil {
+		t.Error("Current on an unmounted cpuidle file succeeded")
+	}
+}
+
+// TestActuatorErrorsPropagateFaults mirrors what a fault campaign does
+// to the in-band path: the cpuidle attribute starts returning errors
+// mid-run, and the actuator must surface every one (the engine's retry
+// and fail-safe logic depends on seeing them).
+func TestActuatorErrorsPropagateFaults(t *testing.T) {
+	fs := hwmon.NewFS()
+	p := Paths{MaxState: "/sys/devices/system/cpu/cpu0/cpuidle/max_state"}
+	healthy := true
+	current := int64(0)
+	fs.Register(p.MaxState, hwmon.FuncFile{
+		ReadFn: func() (string, error) {
+			if !healthy {
+				return "", errors.New("cpuidle: bus fault")
+			}
+			return strconv.FormatInt(current, 10), nil
+		},
+		WriteFn: func(s string) error {
+			if !healthy {
+				return errors.New("cpuidle: bus fault")
+			}
+			v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+			if err != nil {
+				return err
+			}
+			current = v
+			return nil
+		},
+	})
+	a := NewActuator(fs, p)
+	if err := a.Apply(2); err != nil {
+		t.Fatalf("healthy Apply: %v", err)
+	}
+	healthy = false
+	if err := a.Apply(3); err == nil {
+		t.Error("Apply during the fault episode succeeded")
+	}
+	if _, err := a.Current(); err == nil {
+		t.Error("Current during the fault episode succeeded")
+	}
+	healthy = true
+	if got, err := a.Current(); err != nil || got != 2 {
+		t.Errorf("after recovery Current = %d, %v; want the pre-fault state 2", got, err)
+	}
+}
+
+// TestFailSafeDrivesDeepestState runs the actuator under the unified
+// controller with a dead temperature sensor: escalation must pin the
+// C-state array at its end — the deepest state, maximum heat removal —
+// exactly as it pins a fan at full duty.
+func TestFailSafeDrivesDeepestState(t *testing.T) {
+	fs, _, p := rig()
+	read := func() (float64, error) { return 0, errors.New("sensor dead") }
+	ctl, err := core.NewController(core.DefaultConfig(50), read,
+		core.ActuatorBinding{Actuator: NewActuator(fs, p)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 20; i++ {
+		ctl.OnStep(time.Duration(i) * 250 * time.Millisecond)
+	}
+	if !ctl.FailSafe() {
+		t.Fatal("fail-safe never engaged under a dead sensor")
+	}
+	if v, _ := fs.ReadInt(p.MaxState); v != 3 {
+		t.Errorf("fail-safe left max_state at %d, want the deepest state 3", v)
 	}
 }

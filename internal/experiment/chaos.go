@@ -178,7 +178,10 @@ func chaosDropout(seed uint64) (DropoutResult, error) {
 		Emergencies: c.Nodes[0].Emergencies(),
 		FinalDuty:   c.Nodes[0].Fan.Duty(),
 	}
-	for _, ev := range hybrids[0].Fan.FailSafeEvents() {
+	for _, ev := range hybrids[0].FailSafeEvents() {
+		if ev.Lane != "fan" {
+			continue
+		}
 		switch {
 		case ev.Engaged && !r.Escalated:
 			r.Escalated = true
@@ -234,17 +237,18 @@ func chaosCampaign(seed uint64) (CampaignResult, error) {
 		r.Episodes += len(sch.Episodes)
 	}
 	for _, h := range hybrids {
-		for _, ev := range h.Fan.FailSafeEvents() {
-			if ev.Engaged {
-				r.FanEscalations++
+		for _, ev := range h.FailSafeEvents() {
+			if !ev.Engaged {
+				continue
 			}
-		}
-		for _, ev := range h.DVFS.FailSafeEvents() {
-			if ev.Engaged {
+			switch ev.Lane {
+			case "fan":
+				r.FanEscalations++
+			case "dvfs":
 				r.DVFSEscalations++
 			}
 		}
-		r.BusErrors += h.Fan.Errors() + h.DVFS.Errors()
+		r.BusErrors += h.Errors()
 	}
 	for _, n := range c.Nodes {
 		r.Emergencies += n.Emergencies()

@@ -1,0 +1,57 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSleepStatesIdleAsymmetry asserts the study's claims: driven
+// through the same thermal control array as the fan, the C-state
+// actuator engages on a warm bursty load, saves power there, and saves
+// markedly less under cpu-burn where there is no idle time to gate.
+func TestSleepStatesIdleAsymmetry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("four generator-driven cluster runs")
+	}
+	r, err := SleepStates(Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CheckIdleAsymmetry(); err != nil {
+		t.Error(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.MaxDieC >= emergencyC {
+			t.Errorf("%s sleep=%v: die peaked at %.2f degC, at or above the trip point",
+				row.Workload, row.Sleep, row.MaxDieC)
+		}
+		if !row.Sleep && row.Moves != 0 {
+			t.Errorf("%s: %d C-state moves with the array off", row.Workload, row.Moves)
+		}
+	}
+	if !strings.Contains(r.String(), "savings:") {
+		t.Error("report missing the savings line")
+	}
+}
+
+// TestSleepStatesDeterministic re-runs one cell and compares: the
+// scenario layer must preserve the simulator's bit-reproducibility.
+func TestSleepStatesDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full study cells")
+	}
+	a, err := sleepStatesRun(Seed, "bursty", burstyProfile(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sleepStatesRun(Seed, "bursty", burstyProfile(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same seed, different rows:\n%+v\n%+v", a, b)
+	}
+}

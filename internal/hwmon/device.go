@@ -3,7 +3,6 @@ package hwmon
 import (
 	"fmt"
 	"math"
-	"strconv"
 
 	"thermctl/internal/adt7467"
 	"thermctl/internal/fan"
@@ -65,15 +64,7 @@ func MountADT7467(fs *FS, idx int, drv *adt7467.Driver, sens *sensor.Sensor, f *
 	// temp1_input surfaces a failed conversion (sensor dropout fault) as
 	// a read error, the EIO a dead sensor produces on real sysfs, so
 	// in-band controllers can distinguish "no data" from a bogus 0 °C.
-	fs.Register(c.TempInput, FuncFile{
-		ReadFn: func() (string, error) {
-			v, err := sens.CheckedMillidegrees()
-			if err != nil {
-				return "", err
-			}
-			return strconv.FormatInt(v, 10) + "\n", nil
-		},
-	})
+	fs.Register(c.TempInput, IntFuncFile{ReadFn: sens.CheckedMillidegrees})
 	// temp1_max / temp1_max_alarm bridge the chip's limit registers and
 	// latched interrupt status into the standard hwmon names.
 	fs.Register(c.TempMax, IntFile{

@@ -60,6 +60,47 @@ func (f FuncFile) Write(s string) error {
 	return f.WriteFn(s)
 }
 
+// IntFuncFile adapts integer-producing closures (which may fail, e.g.
+// on a sensor conversion error) to File. It implements IntReader, so
+// ReadInt on such an attribute skips the decimal round-trip — the
+// fast path for the control plane's per-sample temp_input reads.
+type IntFuncFile struct {
+	ReadFn  func() (int64, error)
+	WriteFn func(int64) error
+}
+
+// Read implements File.
+func (f IntFuncFile) Read() (string, error) {
+	if f.ReadFn == nil {
+		return "", ErrPermission
+	}
+	v, err := f.ReadFn()
+	if err != nil {
+		return "", err
+	}
+	return strconv.FormatInt(v, 10) + "\n", nil
+}
+
+// ReadInt implements IntReader.
+func (f IntFuncFile) ReadInt() (int64, error) {
+	if f.ReadFn == nil {
+		return 0, ErrPermission
+	}
+	return f.ReadFn()
+}
+
+// Write implements File.
+func (f IntFuncFile) Write(s string) error {
+	if f.WriteFn == nil {
+		return ErrPermission
+	}
+	v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	if err != nil {
+		return fmt.Errorf("%w: %q", ErrInvalid, s)
+	}
+	return f.WriteFn(v)
+}
+
 // StaticFile is a read-only constant attribute (e.g. a "name" file).
 type StaticFile string
 
@@ -84,6 +125,14 @@ func (f IntFile) Read() (string, error) {
 		return "", ErrPermission
 	}
 	return strconv.FormatInt(f.Get(), 10) + "\n", nil
+}
+
+// ReadInt implements IntReader, skipping the decimal round-trip.
+func (f IntFile) ReadInt() (int64, error) {
+	if f.Get == nil {
+		return 0, ErrPermission
+	}
+	return f.Get(), nil
 }
 
 // Write implements File.
@@ -181,9 +230,31 @@ func (fs *FS) WriteFile(p, s string) error {
 	return f.Write(s)
 }
 
+// IntReader is implemented by attributes whose value is natively an
+// integer. ReadInt uses it to skip the format-then-parse string
+// round-trip on the control plane's hottest read (the sample path
+// hits temp_input every period for every binding).
+type IntReader interface {
+	ReadInt() (int64, error)
+}
+
 // ReadInt reads the attribute at p as a decimal integer.
 func (fs *FS) ReadInt(p string) (int64, error) {
-	s, err := fs.ReadFile(p)
+	p = clean(p)
+	fs.mu.RLock()
+	f, ok := fs.files[p]
+	isDir := fs.dirs[p]
+	fs.mu.RUnlock()
+	if !ok {
+		if isDir {
+			return 0, fmt.Errorf("%w: %s", ErrIsDir, p)
+		}
+		return 0, fmt.Errorf("%w: %s", ErrNotExist, p)
+	}
+	if ir, ok := f.(IntReader); ok {
+		return ir.ReadInt()
+	}
+	s, err := f.Read()
 	if err != nil {
 		return 0, err
 	}

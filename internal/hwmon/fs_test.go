@@ -255,3 +255,73 @@ func BenchmarkReadFile(b *testing.B) {
 		_, _ = fs.ReadInt("/sys/class/hwmon/hwmon0/temp1_input")
 	}
 }
+
+func TestIntFuncFileRoundTrip(t *testing.T) {
+	var stored int64 = 38500
+	var fail error
+	fs := NewFS()
+	fs.Register("/t", IntFuncFile{
+		ReadFn:  func() (int64, error) { return stored, fail },
+		WriteFn: func(v int64) error { stored = v; return nil },
+	})
+	// The string view keeps the sysfs newline-terminated decimal form.
+	if s, err := fs.ReadFile("/t"); err != nil || s != "38500\n" {
+		t.Fatalf("ReadFile = %q, %v", s, err)
+	}
+	// ReadInt takes the IntReader fast path: same value, no round-trip.
+	if v, err := fs.ReadInt("/t"); err != nil || v != 38500 {
+		t.Fatalf("ReadInt = %v, %v", v, err)
+	}
+	if err := fs.WriteFile("/t", " 40000\n"); err != nil {
+		t.Fatal(err)
+	}
+	if stored != 40000 {
+		t.Errorf("stored = %d, want 40000", stored)
+	}
+	if err := fs.WriteFile("/t", "warm"); !errors.Is(err, ErrInvalid) {
+		t.Errorf("garbage write: err = %v, want ErrInvalid", err)
+	}
+	// A failing closure (sensor dropout) surfaces on both read paths.
+	fail = errors.New("conversion failed")
+	if _, err := fs.ReadFile("/t"); !errors.Is(err, fail) {
+		t.Errorf("ReadFile during fault: err = %v, want %v", err, fail)
+	}
+	if _, err := fs.ReadInt("/t"); !errors.Is(err, fail) {
+		t.Errorf("ReadInt during fault: err = %v, want %v", err, fail)
+	}
+}
+
+func TestIntFuncFilePermissions(t *testing.T) {
+	fs := NewFS()
+	fs.Register("/ro", IntFuncFile{ReadFn: func() (int64, error) { return 1, nil }})
+	fs.Register("/wo", IntFuncFile{WriteFn: func(int64) error { return nil }})
+	if err := fs.WriteInt("/ro", 2); !errors.Is(err, ErrPermission) {
+		t.Errorf("write to read-only: err = %v, want ErrPermission", err)
+	}
+	if _, err := fs.ReadFile("/wo"); !errors.Is(err, ErrPermission) {
+		t.Errorf("ReadFile of write-only: err = %v, want ErrPermission", err)
+	}
+	if _, err := fs.ReadInt("/wo"); !errors.Is(err, ErrPermission) {
+		t.Errorf("ReadInt of write-only: err = %v, want ErrPermission", err)
+	}
+}
+
+func TestReadIntFallbackParsesStrings(t *testing.T) {
+	// Attributes without the IntReader fast path still parse: the
+	// string form with trailing newline, and garbage still errors.
+	fs := NewFS()
+	fs.Register("/s", StaticFile("123\n"))
+	if v, err := fs.ReadInt("/s"); err != nil || v != 123 {
+		t.Fatalf("ReadInt = %v, %v", v, err)
+	}
+	fs.Register("/g", StaticFile("not-a-number\n"))
+	if _, err := fs.ReadInt("/g"); !errors.Is(err, ErrInvalid) {
+		t.Errorf("garbage: err = %v, want ErrInvalid", err)
+	}
+	if _, err := fs.ReadInt("/missing"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("missing: err = %v, want ErrNotExist", err)
+	}
+	if _, err := fs.ReadInt("/"); !errors.Is(err, ErrIsDir) {
+		t.Errorf("directory: err = %v, want ErrIsDir", err)
+	}
+}

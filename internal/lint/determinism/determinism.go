@@ -28,9 +28,11 @@ var Analyzer = &lint.Analyzer{
 }
 
 // scopePrefixes are the import-path prefixes (after "thermctl/") the
-// driver applies this analyzer to: the deterministic simulation core
-// and the experiment binaries whose outputs are compared trace-for-
-// trace. Device emulation (i2c, ipmi, hwmon, adt7467) and offline
+// driver applies this analyzer to: the deterministic simulation core,
+// the scenario layer (whose wiring order fixes metric identity and
+// controller attachment order), and the experiment/clustersim binaries
+// whose outputs are compared trace-for-trace. Device emulation (i2c,
+// ipmi, hwmon, adt7467) and offline
 // tooling (trace, lint) are excluded; they are either exercised behind
 // the deterministic core or post-process its outputs with their own
 // sorting.
@@ -38,6 +40,7 @@ var scopePrefixes = []string{
 	"internal/acpi",
 	"internal/baseline",
 	"internal/cluster",
+	"internal/config",
 	"internal/core",
 	"internal/cpu",
 	"internal/cpufreq",
@@ -56,6 +59,7 @@ var scopePrefixes = []string{
 	"internal/thermal",
 	"internal/workload",
 	"cmd/experiments",
+	"cmd/clustersim",
 }
 
 // InScope reports whether the import path belongs to the deterministic

@@ -17,8 +17,10 @@ func TestScope(t *testing.T) {
 		want bool
 	}{
 		{"thermctl/internal/cluster", true},
+		{"thermctl/internal/config", true},
 		{"thermctl/internal/core/window", true},
 		{"thermctl/cmd/experiments", true},
+		{"thermctl/cmd/clustersim", true},
 		{"thermctl/internal/simclock", true},
 		{"thermctl/internal/ipmi", false},
 		{"thermctl/internal/hwmon", false},

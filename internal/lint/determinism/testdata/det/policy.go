@@ -1,0 +1,53 @@
+// Engine/policy-shaped fixtures: the control engine's bindings and
+// policies run inside the deterministic simulation loop, so a policy's
+// Decide must not consult the wall clock for cooldowns, and any map
+// keyed per-slot or per-lane state must be walked in sorted order.
+package det
+
+import (
+	"sort"
+	"time"
+)
+
+type txn struct{ applied int }
+
+func (t *txn) Apply(slot, mode int) bool { t.applied++; return true }
+
+// badPolicy times its cooldown off the wall clock and ranges a map of
+// slot state — both nondeterministic under replay.
+type badPolicy struct {
+	lastMove time.Time
+	slots    map[string]int
+}
+
+func (p *badPolicy) Decide(tx *txn) {
+	if time.Since(p.lastMove) < time.Second { // want `time.Since reads or waits on the wall clock`
+		return
+	}
+	p.lastMove = time.Now()       // want `time.Now reads or waits on the wall clock`
+	for _, idx := range p.slots { // want `map iteration order is nondeterministic`
+		tx.Apply(idx, idx+1)
+	}
+}
+
+// goodPolicy keys its cooldown off the simulated round counter and
+// walks its slots through a sorted key slice.
+type goodPolicy struct {
+	cooldown int
+	slots    map[string]int
+}
+
+func (p *goodPolicy) Decide(tx *txn) {
+	if p.cooldown > 0 {
+		p.cooldown--
+		return
+	}
+	names := make([]string, 0, len(p.slots))
+	for name := range p.slots {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for i, name := range names {
+		tx.Apply(i, p.slots[name])
+	}
+}

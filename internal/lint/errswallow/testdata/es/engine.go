@@ -1,0 +1,46 @@
+// Engine/policy-shaped fixtures: a binding's OnStep funnels policy
+// decisions through a transaction; actuator errors must flow into the
+// transaction's error accounting, never be dropped inside Decide.
+package es
+
+import (
+	"errors"
+	"time"
+)
+
+type actuator struct{}
+
+func (actuator) Apply(m int) error { return errors.New("nak") }
+
+type engTxn struct {
+	act  actuator
+	errs uint64
+}
+
+// Apply is the sanctioned funnel: every actuator error is counted.
+func (t *engTxn) Apply(slot, mode int) bool {
+	if err := t.act.Apply(mode); err != nil {
+		t.errs++
+		return false
+	}
+	return true
+}
+
+type swallowPolicy struct{ act actuator }
+
+// decide drops the actuator error on the floor — the binding never
+// learns, so fail-safe can never escalate.
+func (p *swallowPolicy) decide() {
+	_ = p.act.Apply(3) // want `error discarded with a blank assignment in Step-reachable code`
+}
+
+type binding struct {
+	pol swallowPolicy
+	tx  engTxn
+}
+
+// OnStep reaches the swallow through the policy dispatch.
+func (b *binding) OnStep(now time.Duration) {
+	b.pol.decide()
+	b.tx.Apply(0, 1) // the funnel itself is fine: errors are counted
+}

@@ -1,0 +1,37 @@
+// Engine/policy-shaped fixtures: bindings expose InstrumentMetrics for
+// wiring time; registering lazily inside the binding's OnStep (or a
+// policy hook it dispatches to) is the split the analyzer enforces.
+package ms
+
+import "time"
+
+type policyMetrics struct {
+	reg       *Registry
+	fallbacks *Counter
+}
+
+type engineBinding struct {
+	reg    *Registry
+	rounds *Counter
+	pm     policyMetrics
+}
+
+// InstrumentMetrics at wiring time is the sanctioned shape.
+func (b *engineBinding) InstrumentMetrics(reg *Registry) {
+	b.rounds = reg.NewCounter("engine_rounds")
+	b.pm.fallbacks = reg.NewCounter("policy_fallbacks")
+}
+
+// OnStep registering a policy counter on first use: flagged through the
+// hook dispatch chain.
+func (b *engineBinding) OnStep(now time.Duration) {
+	b.rounds.Inc()
+	b.onEscalate()
+}
+
+func (b *engineBinding) onEscalate() {
+	if b.pm.fallbacks == nil {
+		b.pm.fallbacks = b.reg.NewCounter("lazy_fallbacks") // want `metric registration NewCounter in Step-reachable code \(reached via .*OnStep → onEscalate\)`
+	}
+	b.pm.fallbacks.Inc()
+}

@@ -8,15 +8,20 @@
 #	BENCHTIME=1x ./scripts/bench.sh   # one iteration per benchmark (CI smoke)
 #	OUT=/dev/stdout ./scripts/bench.sh
 #
-# The suite is BenchmarkClusterStep / BenchmarkClusterStepMetrics /
-# BenchmarkClusterStepFaults / BenchmarkClusterStepRack /
-# BenchmarkClusterRunProgram in internal/cluster: 4/64/256 nodes crossed
-# with 1/4/GOMAXPROCS workers. Parallel stepping is byte-identical to
-# serial, so the sweep measures wall-clock only; the JSON's "speedups"
-# section reports serial-over-parallel per (benchmark, nodes) group, the
+# The suite is BenchmarkClusterStep / BenchmarkEngineStep /
+# BenchmarkClusterStepMetrics / BenchmarkClusterStepFaults /
+# BenchmarkClusterStepRack / BenchmarkClusterRunProgram in
+# internal/cluster: 4/64/256 nodes crossed with 1/4/GOMAXPROCS workers.
+# Parallel stepping is byte-identical to serial, so the sweep measures
+# wall-clock only; the JSON's "speedups" section reports
+# serial-over-parallel per (benchmark, nodes) group, the
 # StepMetrics-vs-Step delta at a given shape is the overhead of full
 # metrics instrumentation, and the StepFaults-vs-Step delta is the idle
-# cost of the fault-plane hooks (bar: within 5%).
+# cost of the fault-plane hooks (bar: within 5%). The EngineStep-vs-Step
+# delta is the whole cost of full hybrid control through the engine
+# pipeline (~4% at the large serial shapes in the committed trajectory;
+# see the benchmark's doc comment) and is gated below via
+# `benchjson -within` at 25% to leave shared-machine noise headroom.
 #
 # pipefail matters here: `go test | tee` must fail the script when the
 # benchmark run fails, not when tee does.
@@ -27,15 +32,19 @@ cd "$(dirname "$0")/.."
 BENCHTIME="${BENCHTIME:-1s}"
 COUNT="${COUNT:-3}"
 OUT="${OUT:-BENCH_cluster.json}"
+WITHIN="${WITHIN:-25}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 # -count repeats every benchmark; benchjson keeps the fastest run of
 # each (best-of-N), which is what makes the recorded overhead deltas
 # resolvable on a noisy shared machine.
-echo "==> go test -bench BenchmarkCluster -benchtime $BENCHTIME -count $COUNT ./internal/cluster" >&2
-go test -run '^$' -bench 'BenchmarkCluster(Step|StepMetrics|StepFaults|StepRack|RunProgram)$' \
+echo "==> go test -bench cluster suite -benchtime $BENCHTIME -count $COUNT ./internal/cluster" >&2
+go test -run '^$' -bench 'Benchmark(Cluster(Step|StepMetrics|StepFaults|StepRack|RunProgram)|EngineStep)$' \
 	-benchtime "$BENCHTIME" -count "$COUNT" ./internal/cluster | tee "$tmp" >&2
 
 go run ./cmd/benchjson <"$tmp" >"$OUT"
 echo "==> wrote $OUT" >&2
+
+echo "==> benchjson -within ClusterStep EngineStep -tolerance $WITHIN $OUT" >&2
+go run ./cmd/benchjson -within ClusterStep EngineStep -tolerance "$WITHIN" "$OUT"

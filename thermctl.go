@@ -41,9 +41,11 @@ package thermctl
 import (
 	"thermctl/internal/baseline"
 	"thermctl/internal/cluster"
+	"thermctl/internal/config"
 	"thermctl/internal/core"
 	"thermctl/internal/core/ctlarray"
 	"thermctl/internal/core/window"
+	"thermctl/internal/cstates"
 	"thermctl/internal/experiment"
 	"thermctl/internal/node"
 	"thermctl/internal/rng"
@@ -86,6 +88,31 @@ type (
 	// Actuator is one thermal control technique unified under the
 	// control array.
 	Actuator = core.Actuator
+	// Engine steps an ordered set of control bindings; every controller
+	// in this module is a policy bound into one of these.
+	Engine = core.Engine
+	// Binding is one engine lane: sample → window → policy → actuators,
+	// with fault retry, fail-safe escalation and metrics handled once.
+	Binding = core.Binding
+	// BindingConfig wires a Binding.
+	BindingConfig = core.BindingConfig
+	// ControlPolicy is the decision law a Binding runs each control
+	// round (the paper's array walk, the tDVFS thresholds, ...).
+	ControlPolicy = core.Policy
+	// Txn is the actuation transaction a policy decides through; every
+	// apply funnels into shared error accounting.
+	Txn = core.Txn
+	// CtlArrayPolicy is the thermal-control-array decision law (§3.2.2)
+	// as a reusable policy.
+	CtlArrayPolicy = core.CtlArrayPolicy
+	// ThresholdPolicy is the tDVFS threshold/trend decision law (§4.3)
+	// as a reusable policy.
+	ThresholdPolicy = core.ThresholdPolicy
+	// Scenario is the declarative deployment description consumed by
+	// thermctld, clustersim and the experiment harness alike.
+	Scenario = config.Scenario
+	// Rig is a built Scenario: cluster, controllers, faults, metrics.
+	Rig = config.Rig
 	// Program is a closed-loop SPMD application.
 	Program = workload.Program
 	// Generator is an open-loop utilization source.
@@ -160,6 +187,22 @@ func NewUnified(n *Node, pp int, maxDuty float64) (*Hybrid, error) {
 	}
 	return core.NewHybrid(fan, dvfs), nil
 }
+
+// NewSleepStateControl attaches a thermal control array driving the
+// node's ACPI processor sleep states (C0..C3) — the same decision law
+// as the fan controller, walking the C-state table instead of duty
+// steps. It demonstrates the array is technique-agnostic: any actuator
+// with ordered modes plugs in.
+func NewSleepStateControl(n *Node, pp int) (*Controller, error) {
+	return core.NewController(
+		core.DefaultConfig(pp),
+		core.SysfsTemp(n.FS, n.Hwmon.TempInput),
+		core.ActuatorBinding{Actuator: cstates.NewActuator(n.FS, n.CStates)},
+	)
+}
+
+// LoadScenario reads, normalizes and validates a JSON scenario file.
+func LoadScenario(path string) (Scenario, error) { return config.LoadScenario(path) }
 
 // NewStaticFanControl attaches the traditional static fan controller
 // (the paper's Figure 1 baseline) with the given duty cap.

@@ -13,12 +13,13 @@ test:
 race:
 	go test -race ./...
 
-# lint runs the static gates only (no tests): vet, gofmt, thermlint.
+# lint runs the static gates only (no tests): vet, gofmt, thermlint
+# (with inline GitHub annotations when run under Actions).
 lint:
 	go vet ./...
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
-	go run ./cmd/thermlint ./...
+	./scripts/lintannotate.sh ./...
 
 # check is the full CI gate.
 check:

@@ -105,6 +105,16 @@ func (a *Actuator) Name() string { return "acpi-throttle" }
 // NumModes implements core.Actuator.
 func (a *Actuator) NumModes() int { return NumTStates }
 
+// tstateStrings holds the decimal form of every T-state index, built
+// once so Apply formats nothing on the actuation path.
+var tstateStrings = func() [NumTStates]string {
+	var out [NumTStates]string
+	for i := range out {
+		out[i] = strconv.Itoa(i)
+	}
+	return out
+}()
+
 // Apply implements core.Actuator.
 func (a *Actuator) Apply(m int) error {
 	if m < 0 {
@@ -113,7 +123,7 @@ func (a *Actuator) Apply(m int) error {
 	if m >= NumTStates {
 		m = NumTStates - 1
 	}
-	return a.fs.WriteFile(a.path, strconv.Itoa(m))
+	return a.fs.WriteFile(a.path, tstateStrings[m])
 }
 
 // Current implements core.Actuator.

@@ -232,6 +232,11 @@ func (c *Chip) Step(time.Duration) {
 
 // StaticCurve is the datasheet's automatic fan control law — the paper's
 // Figure 1: minDuty below tmin, linear up to 100% at tmin+trange.
+//
+//thermlint:unit tempC=°C
+//thermlint:unit tminC=°C
+//thermlint:unit minDutyPercent=percent
+//thermlint:unit percent
 func StaticCurve(tempC, tminC, trangeC, minDutyPercent float64) float64 {
 	if tempC <= tminC {
 		return minDutyPercent
@@ -243,6 +248,10 @@ func StaticCurve(tempC, tminC, trangeC, minDutyPercent float64) float64 {
 	return minDutyPercent + frac*(100-minDutyPercent)
 }
 
+// dutyToReg converts a duty percentage to the chip's 8-bit PWM count.
+//
+//thermlint:unit percent=percent
+//thermlint:unit duty8
 func dutyToReg(percent float64) uint8 {
 	if percent <= 0 {
 		return 0
@@ -253,6 +262,10 @@ func dutyToReg(percent float64) uint8 {
 	return uint8(math.Round(percent * 255 / 100))
 }
 
+// regToDuty converts the chip's 8-bit PWM count back to percent.
+//
+//thermlint:unit v=duty8
+//thermlint:unit percent
 func regToDuty(v uint8) float64 { return float64(v) * 100 / 255 }
 
 // Driver is the host-side driver, speaking SMBus transactions to the
@@ -291,11 +304,15 @@ func (d *Driver) SetManual(manual bool) error {
 
 // SetDuty writes the PWM1 duty in percent. The chip must be in manual
 // mode for the write to move the fan.
+//
+//thermlint:unit percent=percent
 func (d *Driver) SetDuty(percent float64) error {
 	return d.bus.WriteByteData(d.addr, RegPWM1Duty, dutyToReg(percent))
 }
 
 // Duty reads back the PWM1 duty in percent.
+//
+//thermlint:unit percent
 func (d *Driver) Duty() (float64, error) {
 	v, err := d.bus.ReadByteData(d.addr, RegPWM1Duty)
 	if err != nil {
@@ -305,6 +322,8 @@ func (d *Driver) Duty() (float64, error) {
 }
 
 // TempC reads the remote-1 temperature in whole °C.
+//
+//thermlint:unit °C
 func (d *Driver) TempC() (float64, error) {
 	v, err := d.bus.ReadByteData(d.addr, RegRemote1Temp)
 	if err != nil {

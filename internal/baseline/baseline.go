@@ -264,6 +264,7 @@ func (p *cpuSpeedPolicy) readProcStat() (busy, total float64, err error) {
 		return 0, 0, err
 	}
 	line, _, _ := strings.Cut(body, "\n")
+	//thermlint:allow hotalloc -- /proc/stat is a text interface; CPUSPEED is the in-band baseline and parses it per interval by design
 	fields := strings.Fields(line)
 	if len(fields) < 5 || fields[0] != "cpu" {
 		return 0, 0, fmt.Errorf("baseline: malformed /proc/stat %q", line)
@@ -274,6 +275,7 @@ func (p *cpuSpeedPolicy) readProcStat() (busy, total float64, err error) {
 		if err != nil {
 			return 0, 0, fmt.Errorf("baseline: bad jiffy count %q", f)
 		}
+		//thermlint:allow hotalloc -- bounded by /proc/stat field count; in-band text parse by design
 		vals = append(vals, v)
 	}
 	// user nice system idle iowait irq softirq: idle is field 4.

@@ -79,9 +79,11 @@ func BenchmarkClusterStep(b *testing.B) {
 // software thermal control — sysfs sampling, window updates and policy
 // decisions on every fourth step (SamplePeriod 250ms over DefaultDt
 // 50ms), not just engine dispatch. The engine pipeline is
-// allocation-free (2 allocs/op against the bare step's 1: the
-// per-round Txn is hosted in the binding and temp_input reads take
-// hwmon's IntReader path), and the committed trajectory records ~4%
+// allocation-free (0 allocs/op, same as the bare step: the per-round
+// Txn is hosted in the binding, temp_input reads take hwmon's
+// IntReader path, and the step job closure is built at wiring time —
+// the last per-round allocation, found by thermlint's hotalloc
+// analyzer), and the committed trajectory records ~4%
 // at the 64- and 256-node serial shapes. The gate `benchjson -within
 // ClusterStep EngineStep -tolerance 25` in `make bench` bounds the
 // control cost with shared-machine noise headroom, and the committed

@@ -66,6 +66,12 @@ type Cluster struct {
 	// met holds the optional metric handles (see InstrumentMetrics in
 	// metrics.go); every handle is nil-safe.
 	met clusterMetrics
+
+	// stepJob advances node i by stepDt. It is wired once in
+	// NewWithNodes so Step stays allocation-free (a closure literal in
+	// Step itself would allocate every round).
+	stepJob func(i int)
+	stepDt  time.Duration
 }
 
 // New builds a cluster of n default nodes stepping at dt. Node i is
@@ -83,6 +89,7 @@ func New(n int, dt time.Duration, seed uint64) (*Cluster, error) {
 		}
 		c.Nodes = append(c.Nodes, nd)
 	}
+	c.stepJob = func(i int) { c.Nodes[i].Step(c.stepDt) }
 	return c, nil
 }
 
@@ -92,7 +99,12 @@ func NewWithNodes(nodes []*node.Node, dt time.Duration) (*Cluster, error) {
 	if len(nodes) == 0 {
 		return nil, fmt.Errorf("cluster: no nodes")
 	}
-	return &Cluster{Clock: simclock.NewClock(dt), Nodes: nodes, WaitUtil: 0.06, workers: 1}, nil
+	c := &Cluster{Clock: simclock.NewClock(dt), Nodes: nodes, WaitUtil: 0.06, workers: 1}
+	// The per-round advance job is built once here: a closure literal in
+	// Step would allocate on every round (hotalloc). It reads the round's
+	// dt from stepDt, which Step refreshes before dispatch.
+	c.stepJob = func(i int) { c.Nodes[i].Step(c.stepDt) }
+	return c, nil
 }
 
 // AddController registers a controller to be invoked every step.
@@ -120,11 +132,11 @@ func (c *Cluster) tickControllers() {
 // after the worker barrier, so controllers observe every node at the
 // same step boundary, exactly as under serial stepping.
 func (c *Cluster) Step() {
-	dt := c.Clock.Dt()
+	c.stepDt = c.Clock.Dt()
 	if c.met.timed() {
 		defer c.met.stepSeconds.ObserveSince(metrics.Now())
 	}
-	c.advanceNodes(func(i int) { c.Nodes[i].Step(dt) })
+	c.advanceNodes(c.stepJob)
 	c.tickControllers()
 }
 

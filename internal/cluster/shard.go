@@ -99,10 +99,12 @@ func (p *shardPool) loop(w int) {
 func (p *shardPool) dispatch(job func(node int)) {
 	p.job = job
 	for _, ch := range p.start {
+		//thermlint:allow onstepblock -- the worker barrier IS the step: workers drain start immediately and the loop must wait for them
 		ch <- struct{}{}
 	}
 	if !p.met.timed() {
 		for range p.start {
+			//thermlint:allow onstepblock -- barrier join; every worker sends exactly one done per dispatch
 			<-p.done
 		}
 		p.job = nil
@@ -113,6 +115,7 @@ func (p *shardPool) dispatch(job func(node int)) {
 	// workers idled at the barrier this step.
 	var fastest, slowest time.Duration
 	for i := range p.start {
+		//thermlint:allow onstepblock -- instrumented barrier join, same contract as the untimed path
 		d := <-p.done
 		p.met.shardSeconds.Observe(d.Seconds())
 		if i == 0 || d < fastest {

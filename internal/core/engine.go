@@ -303,6 +303,7 @@ func (b *Binding) escalate(now time.Duration) {
 	}
 	b.failSafe = true
 	b.cleanSamples = 0
+	//thermlint:allow hotalloc -- escalations are rare fault transitions, not per-round work; the log is the audit trail
 	b.fsEvents = append(b.fsEvents, FailSafeEvent{At: now, Engaged: true})
 	b.mt.escalations.Inc()
 	b.mt.failSafe.SetBool(true)
@@ -356,6 +357,7 @@ func (b *Binding) release(now time.Duration) {
 	b.failSafe = false
 	b.cleanSamples = 0
 	b.consecApplyErrs = 0
+	//thermlint:allow hotalloc -- recoveries are rare fault transitions, not per-round work; the log is the audit trail
 	b.fsEvents = append(b.fsEvents, FailSafeEvent{At: now, Engaged: false})
 	b.mt.recoveries.Inc()
 	b.mt.failSafe.SetBool(false)

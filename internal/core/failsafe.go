@@ -71,8 +71,14 @@ func (ra *RetryActuator) Name() string { return ra.Inner.Name() }
 func (ra *RetryActuator) NumModes() int { return ra.Inner.NumModes() }
 
 // Apply implements Actuator, retrying the inner Apply under the policy.
+// It drives the retrier's closure-free Attempt loop: a Do closure would
+// allocate on every actuation in Step-reachable code.
 func (ra *RetryActuator) Apply(m int) error {
-	return ra.R.Do(func() error { return ra.Inner.Apply(m) })
+	var err error
+	for a := ra.R.Begin(); a.Next(&err); {
+		err = ra.Inner.Apply(m)
+	}
+	return err
 }
 
 // Current implements Actuator.
@@ -91,9 +97,14 @@ type RetryFreqPort struct {
 // AvailableKHz implements FreqPort.
 func (rp *RetryFreqPort) AvailableKHz() ([]int64, error) { return rp.Port.AvailableKHz() }
 
-// SetKHz implements FreqPort, retrying the write under the policy.
+// SetKHz implements FreqPort, retrying the write under the policy with
+// the closure-free Attempt loop (see RetryActuator.Apply).
 func (rp *RetryFreqPort) SetKHz(f int64) error {
-	return rp.R.Do(func() error { return rp.Port.SetKHz(f) })
+	var err error
+	for a := rp.R.Begin(); a.Next(&err); {
+		err = rp.Port.SetKHz(f)
+	}
+	return err
 }
 
 // CurrentKHz implements FreqPort.

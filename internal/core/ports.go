@@ -62,6 +62,8 @@ type SysfsFanPort struct {
 }
 
 // SetDutyPercent implements FanPort.
+//
+//thermlint:unit d=percent
 func (p *SysfsFanPort) SetDutyPercent(d float64) error {
 	if !p.armed {
 		if err := p.FS.WriteInt(p.Chip.PWMEnable, hwmon.PWMEnableManual); err != nil {
@@ -73,6 +75,8 @@ func (p *SysfsFanPort) SetDutyPercent(d float64) error {
 }
 
 // DutyPercent implements FanPort.
+//
+//thermlint:unit percent
 func (p *SysfsFanPort) DutyPercent() (float64, error) {
 	v, err := p.FS.ReadInt(p.Chip.PWM)
 	if err != nil {
@@ -81,6 +85,11 @@ func (p *SysfsFanPort) DutyPercent() (float64, error) {
 	return float64(v) * 100 / 255, nil
 }
 
+// dutyToPWMReg converts a duty percentage to the hwmon pwm1 register
+// count, clamped to the register's 0..255 range.
+//
+//thermlint:unit d=percent
+//thermlint:unit duty8
 func dutyToPWMReg(d float64) int64 {
 	if d <= 0 {
 		return 0
@@ -124,23 +133,44 @@ type FreqPort interface {
 type SysfsFreqPort struct {
 	FS    *hwmon.FS
 	Paths cpufreq.Paths
+
+	// avail caches the parsed frequency table: the set of available
+	// frequencies of a CPU is static, and policies may ask for it on
+	// every decision.
+	avail []int64
 }
 
-// AvailableKHz implements FreqPort.
+// AvailableKHz implements FreqPort. The table is read and parsed once,
+// then served from the cache; the returned slice is shared and must be
+// treated as read-only.
+//
+//thermlint:unit kHz
 func (p *SysfsFreqPort) AvailableKHz() ([]int64, error) {
+	if p.avail != nil {
+		return p.avail, nil
+	}
 	body, err := p.FS.ReadFile(p.Paths.AvailableFreqs)
 	if err != nil {
 		return nil, err
 	}
-	return cpufreq.ParseAvailable(body)
+	freqs, err := cpufreq.ParseAvailable(body)
+	if err != nil {
+		return nil, err
+	}
+	p.avail = freqs
+	return p.avail, nil
 }
 
 // SetKHz implements FreqPort.
+//
+//thermlint:unit f=kHz
 func (p *SysfsFreqPort) SetKHz(f int64) error {
 	return p.FS.WriteInt(p.Paths.SetSpeed, f)
 }
 
 // CurrentKHz implements FreqPort.
+//
+//thermlint:unit kHz
 func (p *SysfsFreqPort) CurrentKHz() (int64, error) {
 	return p.FS.ReadInt(p.Paths.CurFreq)
 }
@@ -182,6 +212,8 @@ func (f *FanActuator) Name() string { return "fan" }
 func (f *FanActuator) NumModes() int { return f.Modes }
 
 // DutyForMode returns the duty in percent commanded by mode m.
+//
+//thermlint:unit percent
 func (f *FanActuator) DutyForMode(m int) float64 {
 	if f.Modes <= 1 {
 		return f.MaxDuty
@@ -223,8 +255,10 @@ func (f *FanActuator) Current() (int, error) {
 // highest frequency (least effective at cooling), the last mode the
 // lowest frequency.
 type DVFSActuator struct {
-	Port  FreqPort
-	freqs []int64 // descending kHz
+	Port FreqPort
+	// freqs is the P-state table, descending.
+	//thermlint:unit kHz
+	freqs []int64
 }
 
 // NewDVFSActuator probes the port's frequency table.
@@ -246,6 +280,8 @@ func (d *DVFSActuator) Name() string { return "dvfs" }
 func (d *DVFSActuator) NumModes() int { return len(d.freqs) }
 
 // FreqForMode returns the frequency (kHz) of mode m, clamped.
+//
+//thermlint:unit kHz
 func (d *DVFSActuator) FreqForMode(m int) int64 {
 	if m < 0 {
 		m = 0

@@ -99,6 +99,7 @@ func (w *Window) Add(sample float64) bool {
 		copy(w.l2, w.l2[1:]) // dequeue front
 		w.l2 = w.l2[:w.cfg.L2Size-1]
 	}
+	//thermlint:allow hotalloc -- l2 is preallocated to L2Size at construction and dequeues at capacity; this append never grows it
 	w.l2 = append(w.l2, avg)
 
 	w.l1n = 0 // clear level one for the next round

@@ -65,6 +65,8 @@ func (s *SimScaler) TimeInState() map[int64]int64 {
 }
 
 // AvailableKHz implements Scaler.
+//
+//thermlint:unit kHz
 func (s *SimScaler) AvailableKHz() []int64 {
 	tab := s.c.Table()
 	out := make([]int64, len(tab))
@@ -75,9 +77,13 @@ func (s *SimScaler) AvailableKHz() []int64 {
 }
 
 // CurrentKHz implements Scaler.
+//
+//thermlint:unit kHz
 func (s *SimScaler) CurrentKHz() int64 { return ghzToKHz(s.c.FreqGHz()) }
 
 // SetKHz implements Scaler.
+//
+//thermlint:unit f=kHz
 func (s *SimScaler) SetKHz(f int64) error {
 	for i, p := range s.c.Table() {
 		if ghzToKHz(p.FreqGHz) == f {
@@ -91,6 +97,10 @@ func (s *SimScaler) SetKHz(f int64) error {
 // Transitions implements Scaler.
 func (s *SimScaler) Transitions() uint64 { return s.c.Transitions() }
 
+// ghzToKHz converts a model frequency to cpufreq's sysfs unit.
+//
+//thermlint:unit g=GHz
+//thermlint:unit kHz
 func ghzToKHz(g float64) int64 { return int64(g*1e6 + 0.5) }
 
 // Paths bundles the sysfs attribute paths of one CPU's cpufreq policy.
@@ -167,17 +177,26 @@ func Mount(fs *hwmon.FS, idx int, s Scaler) Paths {
 	return p
 }
 
-// ParseAvailable parses a scaling_available_frequencies file body.
+// ParseAvailable parses a scaling_available_frequencies file body. The
+// frequency table of a CPU is static, so hot callers cache the result
+// (see core.SysfsFreqPort.AvailableKHz) and this parse runs once per
+// port, not per round.
+//
+//thermlint:unit kHz
 func ParseAvailable(body string) ([]int64, error) {
+	//thermlint:allow hotalloc -- one-shot parse; hot callers cache the table
 	fields := strings.Fields(body)
+	//thermlint:allow hotalloc -- one-shot parse; hot callers cache the table
 	out := make([]int64, 0, len(fields))
 	for _, f := range fields {
 		v, err := strconv.ParseInt(f, 10, 64)
 		if err != nil {
 			return nil, fmt.Errorf("cpufreq: bad frequency %q", f)
 		}
+		//thermlint:allow hotalloc -- capacity preallocated to the field count above; never grows
 		out = append(out, v)
 	}
+	//thermlint:allow hotalloc -- one-shot parse; hot callers cache the table
 	sort.Slice(out, func(i, j int) bool { return out[i] > out[j] })
 	return out, nil
 }

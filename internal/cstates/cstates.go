@@ -35,15 +35,20 @@ type State struct {
 	ExitLatency time.Duration
 }
 
+// table is built once; Table is called from the actuation path, which
+// must not allocate per call.
+var table = []State{
+	{Name: "C0", IdleFactor: 1.00, ExitLatency: 0},
+	{Name: "C1", IdleFactor: 0.70, ExitLatency: 2 * time.Microsecond},
+	{Name: "C2", IdleFactor: 0.45, ExitLatency: 50 * time.Microsecond},
+	{Name: "C3", IdleFactor: 0.25, ExitLatency: 500 * time.Microsecond},
+}
+
 // Table returns the modelled states, shallow to deep: C0 (no idle
-// gating beyond the architectural halt), C1, C2, C3.
+// gating beyond the architectural halt), C1, C2, C3. The slice is
+// shared — callers must treat it as read-only.
 func Table() []State {
-	return []State{
-		{Name: "C0", IdleFactor: 1.00, ExitLatency: 0},
-		{Name: "C1", IdleFactor: 0.70, ExitLatency: 2 * time.Microsecond},
-		{Name: "C2", IdleFactor: 0.45, ExitLatency: 50 * time.Microsecond},
-		{Name: "C3", IdleFactor: 0.25, ExitLatency: 500 * time.Microsecond},
-	}
+	return table
 }
 
 // Paths holds the virtual sysfs path of one CPU's cpuidle control.

@@ -39,15 +39,33 @@ var Workers = 1
 
 // probe records per-node observables on a fixed schedule.
 type probe struct {
-	c     *cluster.Cluster
-	rec   *trace.Recorder
-	every time.Duration
-	next  time.Duration
+	c      *cluster.Cluster
+	rec    *trace.Recorder
+	every  time.Duration
+	next   time.Duration
+	labels []probeLabels
+}
+
+// probeLabels holds one node's series names, formatted once at probe
+// construction: OnStep samples every node every interval and must not
+// build strings per sample.
+type probeLabels struct {
+	temp, duty, freq, power string
 }
 
 // newProbe attaches a recorder to the cluster sampling every interval.
 func newProbe(c *cluster.Cluster, every time.Duration) *probe {
 	p := &probe{c: c, rec: trace.NewRecorder(), every: every, next: 0}
+	p.labels = make([]probeLabels, len(c.Nodes))
+	for i := range c.Nodes {
+		prefix := fmt.Sprintf("n%d_", i)
+		p.labels[i] = probeLabels{
+			temp:  prefix + "temp",
+			duty:  prefix + "duty",
+			freq:  prefix + "freq",
+			power: prefix + "power",
+		}
+	}
 	c.AddController(p)
 	return p
 }
@@ -59,11 +77,11 @@ func (p *probe) OnStep(now time.Duration) {
 	}
 	p.next += p.every
 	for i, n := range p.c.Nodes {
-		prefix := fmt.Sprintf("n%d_", i)
-		p.rec.Record(prefix+"temp", now, n.Sensor.Read())
-		p.rec.Record(prefix+"duty", now, n.Fan.Duty())
-		p.rec.Record(prefix+"freq", now, n.CPU.FreqGHz())
-		p.rec.Record(prefix+"power", now, n.Power().Total())
+		l := &p.labels[i]
+		p.rec.Record(l.temp, now, n.Sensor.Read())
+		p.rec.Record(l.duty, now, n.Fan.Duty())
+		p.rec.Record(l.freq, now, n.CPU.FreqGHz())
+		p.rec.Record(l.power, now, n.Power().Total())
 	}
 }
 

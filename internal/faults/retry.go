@@ -61,30 +61,74 @@ func NewRetrier(pol RetryPolicy, src *rng.Source, sleep func(time.Duration)) *Re
 
 // Do runs op until it succeeds, the attempt cap is hit, or the backoff
 // budget is exhausted. The returned error wraps op's last error.
+//
+// Do allocates a closure per call; hot-path wrappers (RetryActuator and
+// friends) drive Begin/Next directly instead.
 func (r *Retrier) Do(op func() error) error {
-	var waited time.Duration
-	for attempt := 1; ; attempt++ {
-		r.attempts.Inc()
-		err := op()
-		if err == nil {
-			return nil
-		}
-		if attempt >= r.pol.MaxAttempts {
-			r.giveups.Inc()
-			return fmt.Errorf("faults: gave up after %d attempts: %w", attempt, err)
-		}
-		d := r.delay(attempt)
-		if r.pol.Budget > 0 && waited+d > r.pol.Budget {
-			r.giveups.Inc()
-			return fmt.Errorf("faults: retry budget %s exhausted after %d attempts: %w",
-				r.pol.Budget, attempt, err)
-		}
-		waited += d
-		r.retries.Inc()
-		if r.sleep != nil {
-			r.sleep(d)
-		}
+	var err error
+	for a := r.Begin(); a.Next(&err); {
+		err = op()
 	}
+	return err
+}
+
+// Attempt is the state of one closure-free retry loop, driven by the
+// caller:
+//
+//	var err error
+//	for a := r.Begin(); a.Next(&err); {
+//		err = port.SetKHz(f)
+//	}
+//	return err
+//
+// The zero-allocation shape matters on the actuation path: a Do closure
+// capturing the argument would allocate per call in Step-reachable code
+// (hotalloc).
+type Attempt struct {
+	r       *Retrier
+	attempt int
+	waited  time.Duration
+}
+
+// Begin starts a retry loop under the retrier's policy.
+func (r *Retrier) Begin() Attempt { return Attempt{r: r} }
+
+// Next reports whether the caller should run (another) attempt. errp
+// points at the previous attempt's error (ignored before the first).
+// When Next returns false, *errp holds the final outcome: nil on
+// success, or the last error wrapped with the give-up cause.
+func (a *Attempt) Next(errp *error) bool {
+	r := a.r
+	if a.attempt == 0 {
+		a.attempt = 1
+		r.attempts.Inc()
+		return true
+	}
+	if *errp == nil {
+		return false
+	}
+	if a.attempt >= r.pol.MaxAttempts {
+		r.giveups.Inc()
+		//thermlint:allow hotalloc -- give-up wrap: once per exhausted retry sequence, not per round
+		*errp = fmt.Errorf("faults: gave up after %d attempts: %w", a.attempt, *errp)
+		return false
+	}
+	d := r.delay(a.attempt)
+	if r.pol.Budget > 0 && a.waited+d > r.pol.Budget {
+		r.giveups.Inc()
+		//thermlint:allow hotalloc -- budget-exhausted wrap: once per failed sequence, not per round
+		*errp = fmt.Errorf("faults: retry budget %s exhausted after %d attempts: %w",
+			r.pol.Budget, a.attempt, *errp)
+		return false
+	}
+	a.waited += d
+	r.retries.Inc()
+	if r.sleep != nil {
+		r.sleep(d)
+	}
+	a.attempt++
+	r.attempts.Inc()
+	return true
 }
 
 // delay computes the jittered backoff before attempt+1.

@@ -78,6 +78,7 @@ func (f IntFuncFile) Read() (string, error) {
 	if err != nil {
 		return "", err
 	}
+	//thermlint:allow hotalloc -- string Read is the sysfs text slow path; hot samplers use ReadInt
 	return strconv.FormatInt(v, 10) + "\n", nil
 }
 
@@ -87,6 +88,14 @@ func (f IntFuncFile) ReadInt() (int64, error) {
 		return 0, ErrPermission
 	}
 	return f.ReadFn()
+}
+
+// WriteInt implements IntWriter, skipping the decimal round-trip.
+func (f IntFuncFile) WriteInt(v int64) error {
+	if f.WriteFn == nil {
+		return ErrPermission
+	}
+	return f.WriteFn(v)
 }
 
 // Write implements File.
@@ -124,6 +133,7 @@ func (f IntFile) Read() (string, error) {
 	if f.Get == nil {
 		return "", ErrPermission
 	}
+	//thermlint:allow hotalloc -- string Read is the sysfs text slow path; hot samplers use ReadInt
 	return strconv.FormatInt(f.Get(), 10) + "\n", nil
 }
 
@@ -143,6 +153,20 @@ func (f IntFile) Write(s string) error {
 	v, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
 	if err != nil {
 		return fmt.Errorf("%w: %q", ErrInvalid, s)
+	}
+	if f.Min != 0 || f.Max != 0 {
+		if v < f.Min || v > f.Max {
+			return fmt.Errorf("%w: %d outside [%d, %d]", ErrInvalid, v, f.Min, f.Max)
+		}
+	}
+	return f.Set(v)
+}
+
+// WriteInt implements IntWriter, enforcing the same bounds as Write
+// without the decimal round-trip.
+func (f IntFile) WriteInt(v int64) error {
+	if f.Set == nil {
+		return ErrPermission
 	}
 	if f.Min != 0 || f.Max != 0 {
 		if v < f.Min || v > f.Max {
@@ -265,8 +289,26 @@ func (fs *FS) ReadInt(p string) (int64, error) {
 	return v, nil
 }
 
-// WriteInt writes v to the attribute at p in decimal.
+// IntWriter is the write-side twin of IntReader: attributes whose
+// value is natively an integer accept it without the format-then-parse
+// decimal round-trip. WriteInt uses it on the actuator write path —
+// duty and frequency writes land here on every decision.
+type IntWriter interface {
+	WriteInt(int64) error
+}
+
+// WriteInt writes v to the attribute at p in decimal, taking the
+// IntWriter fast path when the attribute supports it.
 func (fs *FS) WriteInt(p string, v int64) error {
+	fs.mu.RLock()
+	f, ok := fs.files[clean(p)]
+	fs.mu.RUnlock()
+	if ok {
+		if iw, isInt := f.(IntWriter); isInt {
+			return iw.WriteInt(v)
+		}
+	}
+	//thermlint:allow hotalloc -- slow path for string attributes only; every integer attribute implements IntWriter
 	return fs.WriteFile(p, strconv.FormatInt(v, 10))
 }
 

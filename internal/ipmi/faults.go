@@ -44,17 +44,15 @@ type RetryTransport struct {
 	R *faults.Retrier
 }
 
-// Send implements Transport.
+// Send implements Transport. It drives the retrier's closure-free
+// Attempt loop: a Do closure would allocate on every command sent from
+// Step-reachable code.
 func (rt *RetryTransport) Send(req Request) (Response, error) {
 	var resp Response
-	err := rt.R.Do(func() error {
-		r, err := rt.T.Send(req)
-		if err != nil {
-			return err
-		}
-		resp = r
-		return nil
-	})
+	var err error
+	for a := rt.R.Begin(); a.Next(&err); {
+		resp, err = rt.T.Send(req)
+	}
 	if err != nil {
 		return Response{}, err
 	}

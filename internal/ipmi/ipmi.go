@@ -71,12 +71,23 @@ type Response struct {
 	Data []byte
 }
 
+// CCError is a non-OK completion code as an error. Converting a
+// one-byte value into the error interface is allocation-free (the
+// runtime interns small values), and the message is only formatted when
+// something actually prints the error.
+type CCError uint8
+
+// Error implements error.
+func (e CCError) Error() string {
+	return fmt.Sprintf("ipmi: completion code %#02x", uint8(e))
+}
+
 // Err converts a non-OK completion code into an error.
 func (r Response) Err() error {
 	if r.CC == CCOK {
 		return nil
 	}
-	return fmt.Errorf("ipmi: completion code %#02x", r.CC)
+	return CCError(r.CC)
 }
 
 // Transport delivers requests to a BMC and returns its responses.
@@ -119,6 +130,7 @@ func EncodeRequest(req Request) ([]byte, error) {
 	if n > maxFrame {
 		return nil, fmt.Errorf("ipmi: request payload %d exceeds frame limit", len(req.Data))
 	}
+	//thermlint:allow hotalloc -- wire frame built per command on the TCP transport at actuation cadence
 	buf := make([]byte, 2+n)
 	binary.BigEndian.PutUint16(buf, uint16(n))
 	buf[2] = req.NetFn
@@ -153,5 +165,6 @@ func DecodeResponse(body []byte) (Response, error) {
 	if len(body) < 1 {
 		return Response{}, errors.New("ipmi: short response frame")
 	}
+	//thermlint:allow hotalloc -- frame payload must be copied out of the read buffer; per command, not per round
 	return Response{CC: body[0], Data: append([]byte(nil), body[1:]...)}, nil
 }

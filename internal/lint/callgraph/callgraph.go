@@ -1,0 +1,363 @@
+// Package callgraph builds a cross-package static call graph over a
+// loaded lint.Program, and computes synchronous reachability from the
+// control plane's hot roots: every Step/OnStep method (the per-round
+// simulation and controller entry points), every Policy Decide method,
+// and the decision transaction's Txn.Apply* actuation funnel.
+//
+// The graph resolves three call shapes:
+//
+//   - direct calls to package functions and methods (static edges);
+//   - interface-method calls, resolved against every concrete type
+//     declared in the program that implements the interface (one
+//     dynamic edge per implementation) — this is what lets an analyzer
+//     follow Binding.OnStep → Policy.Decide → Txn.Apply →
+//     Actuator.Apply → FanPort.SetDutyPercent across packages;
+//   - calls inside `go` statements, kept as asynchronous edges that
+//     reachability skips: a spawned goroutine is not part of the
+//     synchronous round.
+//
+// Analyzers consume the graph through For (the per-program cache) and
+// HotDecls (this package's hot-reachable declarations, with the call
+// chain from the root for diagnostics), instead of re-implementing
+// per-package walkers.
+package callgraph
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+	"sync"
+
+	"thermctl/internal/lint"
+)
+
+// Node is one declared function or method with a body.
+type Node struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *lint.Package
+	// Out holds the resolved call edges, in source order (dynamic edges
+	// fan out in sorted implementer order at one site).
+	Out []Edge
+}
+
+// Edge is one resolved call.
+type Edge struct {
+	// Site is the call expression.
+	Site *ast.CallExpr
+	// Callee is the resolved target.
+	Callee *Node
+	// Dynamic marks an interface-method call resolved to a concrete
+	// implementation.
+	Dynamic bool
+	// Go marks a call launched in a goroutine (directly, or the body of
+	// a `go func(){...}()` literal). Asynchronous: hot reachability does
+	// not traverse it.
+	Go bool
+}
+
+// Hot records why a function is hot: the root it is reachable from and
+// the shortest call chain (labels, root first, the function last).
+type Hot struct {
+	Root  *Node
+	Chain []string
+}
+
+// Via renders the diagnostic suffix " (reached via a → b)" for
+// transitive hits — the chain runs from the root to the function
+// containing the finding — and "" when the function is itself a root.
+func (h *Hot) Via() string {
+	if len(h.Chain) <= 1 {
+		return ""
+	}
+	return " (reached via " + strings.Join(h.Chain, " → ") + ")"
+}
+
+// Graph is the program-wide call graph.
+type Graph struct {
+	Prog  *lint.Program
+	nodes map[*types.Func]*Node
+	roots []*Node
+
+	hotOnce sync.Once
+	hot     map[*types.Func]*Hot
+}
+
+var (
+	cacheMu sync.Mutex
+	cache   = map[*lint.Program]*Graph{}
+)
+
+// For returns the call graph of prog, building it on first use. Graphs
+// are cached per program, so every analyzer in a run shares one build.
+func For(prog *lint.Program) *Graph {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if g, ok := cache[prog]; ok {
+		return g
+	}
+	g := build(prog)
+	cache[prog] = g
+	return g
+}
+
+// Node returns the graph node for fn, or nil if fn has no declared body
+// in the program.
+func (g *Graph) Node(fn *types.Func) *Node { return g.nodes[fn] }
+
+// Roots returns the hot roots in deterministic (package, position)
+// order.
+func (g *Graph) Roots() []*Node { return g.roots }
+
+// IsRoot reports whether fn is one of the hot roots: a method named
+// Step, OnStep or Decide, or an Apply* method on a type named Txn.
+func IsRoot(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	switch fn.Name() {
+	case "Step", "OnStep", "Decide":
+		return true
+	}
+	if strings.HasPrefix(fn.Name(), "Apply") {
+		return recvTypeName(sig) == "Txn"
+	}
+	return false
+}
+
+// recvTypeName returns the bare name of the receiver's named type
+// ("Txn" for (*core.Txn)), or "".
+func recvTypeName(sig *types.Signature) string {
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// Label renders fn for call chains, with the module prefix trimmed:
+// "(*thermctl/internal/core.TDVFS).OnStep" → "(*core.TDVFS).OnStep".
+func Label(fn *types.Func) string {
+	name := fn.FullName()
+	name = strings.ReplaceAll(name, "thermctl/internal/", "")
+	return strings.ReplaceAll(name, "thermctl/", "")
+}
+
+// HotReach returns the synchronous hot-reachability map: every function
+// reachable from a root without crossing a goroutine spawn, with its
+// shortest chain. The map is computed once per graph.
+func (g *Graph) HotReach() map[*types.Func]*Hot {
+	g.hotOnce.Do(func() {
+		hot := map[*types.Func]*Hot{}
+		var queue []*Node
+		for _, r := range g.roots {
+			if _, ok := hot[r.Fn]; !ok {
+				hot[r.Fn] = &Hot{Root: r, Chain: []string{Label(r.Fn)}}
+				queue = append(queue, r)
+			}
+		}
+		for len(queue) > 0 {
+			n := queue[0]
+			queue = queue[1:]
+			h := hot[n.Fn]
+			for _, e := range n.Out {
+				if e.Go {
+					continue
+				}
+				if _, ok := hot[e.Callee.Fn]; ok {
+					continue
+				}
+				chain := make([]string, 0, len(h.Chain)+1)
+				chain = append(chain, h.Chain...)
+				chain = append(chain, Label(e.Callee.Fn))
+				hot[e.Callee.Fn] = &Hot{Root: h.Root, Chain: chain}
+				queue = append(queue, e.Callee)
+			}
+		}
+		g.hot = hot
+	})
+	return g.hot
+}
+
+// HotDecl is one hot-reachable declaration of the analyzed package.
+type HotDecl struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	Hot  *Hot
+}
+
+// HotDecls returns the hot-reachable function declarations belonging to
+// the pass's package, in source order. This is the entry point for
+// hot-path analyzers: iterate, inspect each body, suffix diagnostics
+// with Hot.Via().
+func HotDecls(pass *lint.Pass) []HotDecl {
+	g := For(pass.Prog)
+	reach := g.HotReach()
+	var out []HotDecl
+	for fn, h := range reach {
+		n := g.nodes[fn]
+		if n == nil || n.Pkg.Types != pass.Pkg {
+			continue
+		}
+		out = append(out, HotDecl{Fn: fn, Decl: n.Decl, Hot: h})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Decl.Pos() < out[j].Decl.Pos() })
+	return out
+}
+
+// build constructs the graph: index declarations, collect the concrete
+// type universe, then resolve every call site.
+func build(prog *lint.Program) *Graph {
+	g := &Graph{Prog: prog, nodes: map[*types.Func]*Node{}}
+
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				g.nodes[fn] = &Node{Fn: fn, Decl: fd, Pkg: pkg}
+			}
+		}
+	}
+
+	// The concrete-type universe for interface resolution: every
+	// package-level named non-interface type in the program, in
+	// deterministic (package, name) order.
+	var concrete []*types.Named
+	for _, pkg := range prog.Pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			if _, isIface := named.Underlying().(*types.Interface); isIface {
+				continue
+			}
+			concrete = append(concrete, named)
+		}
+	}
+
+	for _, n := range g.nodes {
+		b := &edgeBuilder{g: g, n: n, concrete: concrete}
+		b.scan(n.Decl.Body, false)
+	}
+	// Map iteration above is fine (each node's edges depend only on its
+	// own body), but the stored edge order within a node is source
+	// order, set by scan.
+
+	for fn, n := range g.nodes {
+		if IsRoot(fn) {
+			g.roots = append(g.roots, n)
+		}
+	}
+	sort.Slice(g.roots, func(i, j int) bool {
+		a, b := g.roots[i], g.roots[j]
+		if a.Pkg.Path != b.Pkg.Path {
+			return a.Pkg.Path < b.Pkg.Path
+		}
+		return a.Decl.Pos() < b.Decl.Pos()
+	})
+	return g
+}
+
+// edgeBuilder walks one function body resolving call edges.
+type edgeBuilder struct {
+	g        *Graph
+	n        *Node
+	concrete []*types.Named
+}
+
+// scan visits n, marking calls found under a `go` statement as
+// asynchronous. Function-literal bodies are scanned as part of the
+// enclosing declaration: a closure defined on the hot path is
+// conservatively assumed to run on it.
+func (b *edgeBuilder) scan(root ast.Node, inGo bool) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			b.scan(n.Call, true)
+			return false
+		case *ast.CallExpr:
+			b.resolve(n, inGo)
+		}
+		return true
+	})
+}
+
+// resolve adds the edge(s) for one call expression.
+func (b *edgeBuilder) resolve(call *ast.CallExpr, inGo bool) {
+	info := b.n.Pkg.Info
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			b.addStatic(call, fn, inGo)
+		}
+	case *ast.SelectorExpr:
+		fn, ok := info.Uses[fun.Sel].(*types.Func)
+		if !ok {
+			return
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if ok && sig.Recv() != nil {
+			if iface, isIface := sig.Recv().Type().Underlying().(*types.Interface); isIface {
+				b.addDynamic(call, fn, iface, inGo)
+				return
+			}
+		}
+		b.addStatic(call, fn, inGo)
+	}
+}
+
+func (b *edgeBuilder) addStatic(call *ast.CallExpr, fn *types.Func, inGo bool) {
+	if callee, ok := b.g.nodes[fn]; ok {
+		b.n.Out = append(b.n.Out, Edge{Site: call, Callee: callee, Go: inGo})
+	}
+}
+
+// addDynamic fans an interface-method call out to every concrete
+// implementation declared in the program.
+func (b *edgeBuilder) addDynamic(call *ast.CallExpr, m *types.Func, iface *types.Interface, inGo bool) {
+	for _, named := range b.concrete {
+		impl := implements(named, iface)
+		if impl == nil {
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(impl, true, named.Obj().Pkg(), m.Name())
+		target, ok := obj.(*types.Func)
+		if !ok {
+			continue
+		}
+		if callee, ok := b.g.nodes[target]; ok {
+			b.n.Out = append(b.n.Out, Edge{Site: call, Callee: callee, Dynamic: true, Go: inGo})
+		}
+	}
+}
+
+// implements returns the receiver shape under which named satisfies
+// iface (the type itself or a pointer to it), or nil.
+func implements(named *types.Named, iface *types.Interface) types.Type {
+	if types.Implements(named, iface) {
+		return named
+	}
+	ptr := types.NewPointer(named)
+	if types.Implements(ptr, iface) {
+		return ptr
+	}
+	return nil
+}

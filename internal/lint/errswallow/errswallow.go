@@ -1,13 +1,14 @@
 // Package errswallow forbids silently dropped errors on the control
-// hot path: in code reachable from a Step/OnStep method, an error must
-// be counted, escalated, or propagated — never discarded.
+// hot path: in code reachable from a Step/OnStep method (or a policy
+// Decide, or the Txn.Apply funnel), an error must be counted,
+// escalated, or propagated — never discarded.
 //
 // The motivating bug is the controller's historical failure mode: a
 // sensor read error handled as `if err != nil { return }` skips the
 // round, and a sensor that fails permanently makes the controller skip
 // rounds forever while the die cooks. The resilience plane replaces
 // that with consecutive-error escalation; this analyzer keeps the
-// pattern from creeping back. Two shapes are flagged in Step-reachable
+// pattern from creeping back. Two shapes are flagged in hot-reachable
 // code:
 //
 //   - `_ = expr` where expr is an error — discarding an error value
@@ -16,9 +17,9 @@
 //     the check-and-forget shape. Bodies that count, log, escalate, or
 //     `return err` are fine.
 //
-// Like the other hot-path analyzers, reachability is the intra-package
-// static call graph rooted at every Step/OnStep method; the chain is
-// reported for transitive hits. Deliberate drops are suppressed with
+// Reachability is the shared cross-package call graph
+// (internal/lint/callgraph) from the hot roots; the chain is reported
+// for transitive hits. Deliberate drops are suppressed with
 // `//thermlint:allow errswallow -- reason`.
 package errswallow
 
@@ -26,9 +27,9 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"strings"
 
 	"thermctl/internal/lint"
+	"thermctl/internal/lint/callgraph"
 )
 
 // Analyzer is the swallowed-error check.
@@ -39,77 +40,28 @@ var Analyzer = &lint.Analyzer{
 }
 
 func run(pass *lint.Pass) error {
-	decls := map[*types.Func]*ast.FuncDecl{}
-	for _, f := range pass.Files {
-		for _, d := range f.Decls {
-			fd, ok := d.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
+	for _, hd := range callgraph.HotDecls(pass) {
+		w := &walker{pass: pass, via: hd.Hot.Via()}
+		ast.Inspect(hd.Decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				w.checkAssign(n)
+			case *ast.IfStmt:
+				w.checkIf(n)
 			}
-			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
-				decls[fn] = fd
-			}
-		}
-	}
-	for fn, fd := range decls {
-		if !isStepRoot(fn) {
-			continue
-		}
-		w := &walker{pass: pass, decls: decls, visited: map[*types.Func]bool{}}
-		w.walk(fn, fd, []string{methodLabel(fn)})
+			return true
+		})
 	}
 	return nil
 }
 
-// isStepRoot reports whether fn is an entry point of the per-step hot
-// path: any method named Step or OnStep.
-func isStepRoot(fn *types.Func) bool {
-	if fn.Name() != "Step" && fn.Name() != "OnStep" {
-		return false
-	}
-	sig, ok := fn.Type().(*types.Signature)
-	return ok && sig.Recv() != nil
-}
-
-func methodLabel(fn *types.Func) string {
-	name := fn.FullName()
-	name = strings.ReplaceAll(name, "thermctl/internal/", "")
-	return strings.ReplaceAll(name, "thermctl/", "")
-}
-
 type walker struct {
-	pass    *lint.Pass
-	decls   map[*types.Func]*ast.FuncDecl
-	visited map[*types.Func]bool
-}
-
-// walk flags swallowed errors in fn's body and recurses into statically
-// resolvable same-package callees. chain is the call path from the Step
-// root, for diagnostics.
-func (w *walker) walk(fn *types.Func, fd *ast.FuncDecl, chain []string) {
-	if w.visited[fn] {
-		return
-	}
-	w.visited[fn] = true
-	via := ""
-	if len(chain) > 1 {
-		via = " (reached via " + strings.Join(chain, " → ") + ")"
-	}
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.AssignStmt:
-			w.checkAssign(n, via)
-		case *ast.IfStmt:
-			w.checkIf(n, via)
-		case *ast.CallExpr:
-			w.recurse(n, chain)
-		}
-		return true
-	})
+	pass *lint.Pass
+	via  string
 }
 
 // checkAssign flags `_ = expr` where expr is an error value.
-func (w *walker) checkAssign(as *ast.AssignStmt, via string) {
+func (w *walker) checkAssign(as *ast.AssignStmt) {
 	if len(as.Lhs) != len(as.Rhs) {
 		return // x, _ := f() keeps a result; out of scope
 	}
@@ -120,14 +72,14 @@ func (w *walker) checkAssign(as *ast.AssignStmt, via string) {
 		}
 		if w.isError(as.Rhs[i]) {
 			w.pass.Reportf(as.Pos(),
-				"error discarded with a blank assignment in Step-reachable code%s; count it, escalate, or propagate", via)
+				"error discarded with a blank assignment in Step-reachable code%s; count it, escalate, or propagate", w.via)
 		}
 	}
 }
 
 // checkIf flags `if err != nil { return }` — an error nil-check whose
 // entire consequence is one bare return.
-func (w *walker) checkIf(ifs *ast.IfStmt, via string) {
+func (w *walker) checkIf(ifs *ast.IfStmt) {
 	cond, ok := ifs.Cond.(*ast.BinaryExpr)
 	if !ok || cond.Op != token.NEQ {
 		return
@@ -152,7 +104,7 @@ func (w *walker) checkIf(ifs *ast.IfStmt, via string) {
 		return // propagating (`return err`) is handling
 	}
 	w.pass.Reportf(ifs.Pos(),
-		"error checked and dropped with a bare return in Step-reachable code%s; count it, escalate, or propagate", via)
+		"error checked and dropped with a bare return in Step-reachable code%s; count it, escalate, or propagate", w.via)
 }
 
 func isNil(e ast.Expr) bool {
@@ -172,24 +124,4 @@ func (w *walker) isError(e ast.Expr) bool {
 		return false
 	}
 	return types.Implements(tv.Type, errIface)
-}
-
-// recurse follows a call into a same-package function declaration.
-func (w *walker) recurse(call *ast.CallExpr, chain []string) {
-	var id *ast.Ident
-	switch fun := call.Fun.(type) {
-	case *ast.Ident:
-		id = fun
-	case *ast.SelectorExpr:
-		id = fun.Sel
-	default:
-		return
-	}
-	fn, ok := w.pass.TypesInfo.Uses[id].(*types.Func)
-	if !ok || fn.Pkg() != w.pass.Pkg {
-		return
-	}
-	if fd, ok := w.decls[fn]; ok {
-		w.walk(fn, fd, append(chain, fn.Name()))
-	}
 }

@@ -48,7 +48,7 @@ func (d *deep) Step(dt time.Duration) {
 }
 
 func (d *deep) helper() {
-	if err := apply(2); err != nil { // want `error checked and dropped with a bare return in Step-reachable code \(reached via .*Step → helper\)`
+	if err := apply(2); err != nil { // want `error checked and dropped with a bare return in Step-reachable code \(reached via .*Step → .*helper\)`
 		return
 	}
 }

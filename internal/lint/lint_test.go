@@ -43,6 +43,9 @@ func a() {
 	forbidden()
 	forbidden() //thermlint:allow testcheck
 	forbidden() //thermlint:allow othercheck -- names a different analyzer
+	forbidden() //thermlint:allow -- bare form suppresses every analyzer
+	//thermlint:allow -- standalone bare form covers the next line
+	forbidden()
 }
 `
 
@@ -61,7 +64,7 @@ func loadFixture(t *testing.T) *lint.Package {
 
 func TestDirectives(t *testing.T) {
 	pkg := loadFixture(t)
-	diags, err := lint.Run(pkg, []*lint.Analyzer{testAnalyzer})
+	diags, err := lint.Run(nil, pkg, []*lint.Analyzer{testAnalyzer})
 	if err != nil {
 		t.Fatal(err)
 	}

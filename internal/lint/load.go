@@ -164,7 +164,19 @@ func (l *Loader) loadDir(path, dir string) (*Package, error) {
 	}, nil
 }
 
-// goSources lists the non-test Go files of dir, sorted.
+// buildCtx is the build context used to honor build constraints when
+// listing sources. Cgo is off to match the loader's pure-Go view of the
+// world (see NewLoader).
+var buildCtx = func() build.Context {
+	c := build.Default
+	c.CgoEnabled = false
+	return c
+}()
+
+// goSources lists the non-test Go files of dir that survive build
+// constraints (//go:build lines and GOOS/GOARCH file suffixes for the
+// host platform), sorted. A file excluded by its constraints is
+// invisible to the loader, exactly as it is to the go tool.
 func goSources(dir string) ([]string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -176,6 +188,13 @@ func goSources(dir string) ([]string, error) {
 		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
 			strings.HasSuffix(name, "_test.go") ||
 			strings.HasPrefix(name, "_") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		match, err := buildCtx.MatchFile(dir, name)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %s: %w", filepath.Join(dir, name), err)
+		}
+		if !match {
 			continue
 		}
 		names = append(names, name)

@@ -1,0 +1,128 @@
+package lint_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"thermctl/internal/lint"
+)
+
+// writeDir lays out a package directory from name → source.
+func writeDir(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, body := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestLoadDirSkipsExcludedFiles checks the loader sees exactly the
+// files the go tool would build: _test.go files, underscore/dot
+// prefixed names and build-tag-excluded files are invisible, so their
+// contents can neither produce findings nor break type-checking.
+func TestLoadDirSkipsExcludedFiles(t *testing.T) {
+	dir := writeDir(t, map[string]string{
+		"pkg.go": "package p\n\nfunc Kept() int { return 1 }\n",
+		// A test file referencing an undefined symbol: loading it would
+		// fail type-checking, so a pass proves it was skipped.
+		"pkg_test.go": "package p\n\nvar _ = undefinedInTest\n",
+		// Excluded by its build constraint.
+		"tagged.go": "//go:build neverbuildme\n\npackage p\n\nvar _ = undefinedBehindTag\n",
+		// Excluded by name prefix, as the go tool does.
+		"_draft.go": "package p\n\nvar _ = undefinedInDraft\n",
+		".gen.go":   "package p\n\nvar _ = undefinedInHidden\n",
+	})
+	pkg, err := lint.NewLoader("", "").LoadDir(dir, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkg.Files) != 1 {
+		t.Fatalf("loaded %d files, want 1 (pkg.go only)", len(pkg.Files))
+	}
+	if pkg.Types.Scope().Lookup("Kept") == nil {
+		t.Fatalf("loaded package lacks Kept; wrong file selected")
+	}
+}
+
+// TestLoadDirNoGoFiles checks a directory without buildable Go sources
+// is a load error, not an empty package.
+func TestLoadDirNoGoFiles(t *testing.T) {
+	dir := writeDir(t, map[string]string{
+		"README.md":   "not Go\n",
+		"pkg_test.go": "package p\n",
+	})
+	_, err := lint.NewLoader("", "").LoadDir(dir, dir)
+	if err == nil {
+		t.Fatal("LoadDir succeeded on a directory with no buildable Go sources")
+	}
+	if !strings.Contains(err.Error(), "no Go sources") {
+		t.Fatalf("error = %v, want mention of missing Go sources", err)
+	}
+}
+
+// TestLoadDirTypeErrorIsFatal checks a package that does not
+// type-check reports an error naming the package rather than returning
+// a partial result.
+func TestLoadDirTypeErrorIsFatal(t *testing.T) {
+	dir := writeDir(t, map[string]string{
+		"bad.go": "package p\n\nvar X = undefinedIdent\n",
+	})
+	_, err := lint.NewLoader("", "").LoadDir("brokenpkg", dir)
+	if err == nil {
+		t.Fatal("LoadDir succeeded on a package with a type error")
+	}
+	if !strings.Contains(err.Error(), "type-checking brokenpkg") {
+		t.Fatalf("error = %v, want it to name brokenpkg", err)
+	}
+}
+
+// TestModulePackagesSkipsSourcelessDirs checks directory trees without
+// buildable sources (docs, testdata, a dir holding only _test.go files)
+// yield no package paths.
+func TestModulePackagesSkipsSourcelessDirs(t *testing.T) {
+	root := t.TempDir()
+	for name, body := range map[string]string{
+		"go.mod":               "module m\n",
+		"a/a.go":               "package a\n",
+		"docs/readme.md":       "prose only\n",
+		"b/testdata/fix.go":    "package fix\n",
+		"onlytests/x_test.go":  "package onlytests\n",
+		"_skipped/skipped.go":  "package skipped\n",
+		".hidden/hidden.go":    "package hidden\n",
+		"a/deep/deep.go":       "package deep\n",
+		"b/b.go":               "package b\n",
+		"b/excluded.go.bak":    "not go\n",
+		"empty/.gitkeep":       "",
+		"a/deep/deep_test.go":  "package deep\n",
+		"a/deep/_draft.go":     "package deep\n",
+		"a/deep/notgo.txt":     "x\n",
+		"b/tagged_only/t.go":   "//go:build neverbuildme\n\npackage t\n",
+		"b/tagged_only/doc.md": "constraint-excluded package\n",
+	} {
+		p := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pkgs, err := lint.ModulePackages("m", root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"m/a", "m/a/deep", "m/b"}
+	if len(pkgs) != len(want) {
+		t.Fatalf("ModulePackages = %v, want %v", pkgs, want)
+	}
+	for i, w := range want {
+		if pkgs[i] != w {
+			t.Fatalf("ModulePackages = %v, want %v", pkgs, want)
+		}
+	}
+}

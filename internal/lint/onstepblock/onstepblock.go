@@ -1,28 +1,31 @@
-// Package onstepblock verifies that cluster.Controller implementations
-// never block the lock-step simulation loop.
+// Package onstepblock verifies that nothing on the control plane's
+// synchronous step path blocks the lock-step simulation loop.
 //
 // Every OnStep(time.Duration) method is called synchronously once per
 // simulation step; a sleep, an unbuffered channel operation or
-// synchronous I/O inside it (or anything it calls) stalls every node in
-// the cluster and skews the Δt_L1/Δt_L2 history windows. The analyzer
-// walks the intra-package call graph rooted at each OnStep
-// implementation and flags blocking constructs, reporting the call
-// chain that reaches them.
+// synchronous I/O inside it (or anything it calls — a policy Decide, a
+// Txn.Apply funnel, an actuator port, a virtual-sysfs attribute) stalls
+// every node in the cluster and skews the Δt_L1/Δt_L2 history windows.
+// The analyzer walks the shared cross-package call graph
+// (internal/lint/callgraph) from the hot roots and flags blocking
+// constructs in every synchronously reachable function, reporting the
+// call chain from the root. Goroutine bodies are exempt: a spawned
+// goroutine does not stall the loop.
 package onstepblock
 
 import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"strings"
 
 	"thermctl/internal/lint"
+	"thermctl/internal/lint/callgraph"
 )
 
 // Analyzer is the OnStep-blocking check.
 var Analyzer = &lint.Analyzer{
 	Name: "onstepblock",
-	Doc:  "flag blocking operations reachable from Controller.OnStep implementations",
+	Doc:  "flag blocking operations synchronously reachable from the Step/OnStep/Decide/Txn.Apply hot roots",
 	Run:  run,
 }
 
@@ -65,79 +68,23 @@ var blockingFuncs = map[string]string{
 }
 
 func run(pass *lint.Pass) error {
-	// Index this package's function declarations by their object, so the
-	// walk can follow static intra-package calls.
-	decls := map[*types.Func]*ast.FuncDecl{}
-	for _, f := range pass.Files {
-		for _, d := range f.Decls {
-			fd, ok := d.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
-				decls[fn] = fd
-			}
-		}
-	}
-	for fn, fd := range decls {
-		if !isOnStep(fn) {
-			continue
-		}
-		w := &walker{pass: pass, decls: decls, visited: map[*types.Func]bool{}}
-		w.walk(fn, fd, []string{methodLabel(fn)})
+	for _, hd := range callgraph.HotDecls(pass) {
+		w := &walker{pass: pass, via: hd.Hot.Via()}
+		w.inspect(hd.Decl.Body)
 	}
 	return nil
 }
 
-// isOnStep reports whether fn is a Controller.OnStep implementation:
-// a method named OnStep taking a single time.Duration and returning
-// nothing.
-func isOnStep(fn *types.Func) bool {
-	if fn.Name() != "OnStep" {
-		return false
-	}
-	sig, ok := fn.Type().(*types.Signature)
-	if !ok || sig.Recv() == nil || sig.Params().Len() != 1 || sig.Results().Len() != 0 {
-		return false
-	}
-	named, ok := sig.Params().At(0).Type().(*types.Named)
-	if !ok {
-		return false
-	}
-	obj := named.Obj()
-	return obj.Name() == "Duration" && obj.Pkg() != nil && obj.Pkg().Path() == "time"
-}
-
-func methodLabel(fn *types.Func) string {
-	// Trim the module prefix for readability:
-	// "(*thermctl/internal/core.TDVFS).OnStep" → "(*core.TDVFS).OnStep".
-	name := fn.FullName()
-	name = strings.ReplaceAll(name, "thermctl/internal/", "")
-	return strings.ReplaceAll(name, "thermctl/", "")
-}
-
 type walker struct {
-	pass    *lint.Pass
-	decls   map[*types.Func]*ast.FuncDecl
-	visited map[*types.Func]bool
+	pass *lint.Pass
+	via  string
 }
 
-// walk inspects fn's body for blocking constructs and recurses into
-// statically resolvable same-package callees. chain is the call path
-// from the OnStep root, for diagnostics.
-func (w *walker) walk(fn *types.Func, fd *ast.FuncDecl, chain []string) {
-	if w.visited[fn] {
-		return
-	}
-	w.visited[fn] = true
-	w.inspect(fd.Body, chain)
-}
-
-func (w *walker) inspect(body ast.Node, chain []string) {
-	via := ""
-	if len(chain) > 1 {
-		via = " (reached via " + strings.Join(chain, " → ") + ")"
-	}
+// inspect flags blocking constructs in one hot function body. The
+// callgraph layer already walked the call chain; only this body's own
+// operations are inspected (callees are hot declarations themselves and
+// get their own inspection in their own package's pass).
+func (w *walker) inspect(body ast.Node) {
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.GoStmt:
@@ -145,11 +92,11 @@ func (w *walker) inspect(body ast.Node, chain []string) {
 			// runs asynchronously.
 			return false
 		case *ast.SendStmt:
-			w.pass.Reportf(n.Pos(), "channel send blocks the lock-step loop%s", via)
+			w.pass.Reportf(n.Pos(), "channel send blocks the lock-step loop%s", w.via)
 			return true
 		case *ast.UnaryExpr:
 			if n.Op == token.ARROW {
-				w.pass.Reportf(n.Pos(), "channel receive blocks the lock-step loop%s", via)
+				w.pass.Reportf(n.Pos(), "channel receive blocks the lock-step loop%s", w.via)
 			}
 			return true
 		case *ast.SelectStmt:
@@ -160,32 +107,32 @@ func (w *walker) inspect(body ast.Node, chain []string) {
 					// operations never block), only into the bodies.
 					for _, c := range n.Body.List {
 						for _, st := range c.(*ast.CommClause).Body {
-							w.inspect(st, chain)
+							w.inspect(st)
 						}
 					}
 					return false
 				}
 			}
-			w.pass.Reportf(n.Pos(), "select without default blocks the lock-step loop%s", via)
+			w.pass.Reportf(n.Pos(), "select without default blocks the lock-step loop%s", w.via)
 			return false
 		case *ast.RangeStmt:
 			if tv, ok := w.pass.TypesInfo.Types[n.X]; ok {
 				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
-					w.pass.Reportf(n.Pos(), "ranging over a channel blocks the lock-step loop%s", via)
+					w.pass.Reportf(n.Pos(), "ranging over a channel blocks the lock-step loop%s", w.via)
 				}
 			}
 			return true
 		case *ast.CallExpr:
-			w.checkCall(n, chain, via)
+			w.checkCall(n)
 			return true
 		}
 		return true
 	})
 }
 
-func (w *walker) checkCall(call *ast.CallExpr, chain []string, via string) {
+func (w *walker) checkCall(call *ast.CallExpr) {
 	var id *ast.Ident
-	switch fun := call.Fun.(type) {
+	switch fun := ast.Unparen(call.Fun).(type) {
 	case *ast.Ident:
 		id = fun
 	case *ast.SelectorExpr:
@@ -199,13 +146,6 @@ func (w *walker) checkCall(call *ast.CallExpr, chain []string, via string) {
 	}
 	if why, ok := blockingFuncs[fn.FullName()]; ok {
 		w.pass.Reportf(call.Pos(), "call to %s %s, blocking the lock-step loop%s",
-			fn.FullName(), why, via)
-		return
-	}
-	if fn.Pkg() != w.pass.Pkg {
-		return // cross-package static analysis stops at the boundary
-	}
-	if fd, ok := w.decls[fn]; ok {
-		w.walk(fn, fd, append(chain, fn.Name()))
+			fn.FullName(), why, w.via)
 	}
 }

@@ -23,7 +23,7 @@ func (c *ctl) OnStep(now time.Duration) {
 // helper is reached from OnStep; its blocking send is reported with the
 // call chain.
 func (c *ctl) helper() {
-	c.ch <- 1 // want `channel send blocks the lock-step loop \(reached via .*OnStep → helper\)`
+	c.ch <- 1 // want `channel send blocks the lock-step loop \(reached via .*OnStep → .*helper\)`
 }
 
 type fileCtl struct{ path string }

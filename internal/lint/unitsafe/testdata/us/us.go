@@ -1,0 +1,113 @@
+// Package us exercises the unitsafe analyzer: milli-°C vs °C, duty
+// register counts vs percent, Hz vs kHz.
+package us
+
+// Sensor-side readings are milli-°C, policy thresholds are °C.
+type sensor struct {
+	tempMilli int64   //thermlint:unit milli°C
+	limit     float64 //thermlint:unit °C
+}
+
+// readMilli returns the raw hwmon value.
+//
+//thermlint:unit milli°C
+func readMilli(s *sensor) int64 { return s.tempMilli }
+
+// celsius converts a raw reading. Scaling by a constant erases the
+// unit, so the conversion idiom needs no annotation gymnastics.
+//
+//thermlint:unit t=milli°C
+//thermlint:unit °C
+func celsius(t int64) float64 { return float64(t) / 1000 }
+
+// checkTemp mixes units in every way the analyzer flags.
+func checkTemp(s *sensor) bool {
+	raw := readMilli(s)
+	if float64(raw) > s.limit { // want `mixing milli°C and °C in '>' expression`
+		return true
+	}
+	s.limit = float64(raw)      // want `assigning milli°C value to s.limit \(declared °C\)`
+	d := float64(raw) - s.limit // want `mixing milli°C and °C in '-' expression`
+	_ = d
+	return false
+}
+
+// goodTemp converts before comparing: dividing erases the milli°C tag,
+// so the comparison is clean; assigning the converted value to the
+// tagged field re-tags it °C via the call result.
+func goodTemp(s *sensor) bool {
+	c := celsius(readMilli(s))
+	if c > s.limit {
+		return true
+	}
+	s.limit = c
+	return false
+}
+
+// wantsCelsius declares its parameter's unit.
+//
+//thermlint:unit t=°C
+func wantsCelsius(t float64) bool { return t > 100 }
+
+func callSites(s *sensor) {
+	raw := readMilli(s)
+	_ = wantsCelsius(float64(raw)) // want `passing milli°C value as parameter t \(declared °C\) of wantsCelsius`
+	_ = wantsCelsius(celsius(raw))
+	_ = wantsCelsius(42) // untagged constants are always fine
+}
+
+// badReturn promises °C but returns the raw reading.
+//
+//thermlint:unit °C
+func badReturn(s *sensor) float64 {
+	return float64(readMilli(s)) // want `returning milli°C value as result declared °C`
+}
+
+// Duty cycles: the ADT7467 register is a 0–255 count, the FanPort
+// speaks percent.
+type fan struct {
+	reg int     //thermlint:unit duty8
+	pct float64 //thermlint:unit percent
+}
+
+func dutyMath(f *fan) {
+	f.pct = float64(f.reg) * 100 / 255 // scaling converts: clean
+	f.pct += float64(f.reg)            // want `duty8-unit value \+= into a percent variable`
+	sum := f.reg + int(f.pct)          // want `mixing duty8 and percent in '\+' expression`
+	_ = sum
+}
+
+// Frequencies: sysfs cpufreq is kHz; offsets keep the unit.
+type scaler struct {
+	cur int64 //thermlint:unit kHz
+	max int64 //thermlint:unit kHz
+}
+
+func clampFreq(s *scaler, headroom int64) int64 {
+	next := s.cur + 100_000 // constant offset keeps kHz
+	if next > s.max {       // same unit on both sides: clean
+		next = s.max
+	}
+	return next + headroom // untagged headroom stays unknown: clean
+}
+
+type mixedFreq struct {
+	hz int64 //thermlint:unit Hz
+}
+
+func badFreq(s *scaler, m *mixedFreq) {
+	m.hz = s.cur       // want `assigning kHz value to m.hz \(declared Hz\)`
+	if s.cur == m.hz { // want `mixing kHz and Hz in '==' expression`
+		return
+	}
+}
+
+type allowed struct {
+	mc int64 //thermlint:unit milli°C
+	c  int64 //thermlint:unit °C
+}
+
+// deliberate mixes units on purpose, with the annotated escape hatch.
+func deliberate(a *allowed) {
+	a.c = a.mc //thermlint:allow unitsafe -- fixture: lossy shortcut documented here
+}

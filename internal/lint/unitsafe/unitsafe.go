@@ -1,0 +1,491 @@
+// Package unitsafe tracks unit-tagged values through assignments and
+// calls and flags mixed-unit arithmetic.
+//
+// The thermal stack juggles look-alike integers with incompatible
+// units: hwmon temperatures are milli-°C while policies think in °C,
+// fan duty is an 8-bit register count (0–255) in the ADT7467 but a
+// percentage at the FanPort boundary, and cpufreq frequencies are kHz
+// in sysfs but Hz in parts of the models. Mixing them compiles cleanly
+// and fails in the field — a ×1000 thermal reading trips fail-safe, a
+// /1000 one never throttles.
+//
+// Units are declared with tag comments at the sensor/actuator
+// boundaries:
+//
+//	// on a struct field, var or const (doc or trailing comment):
+//	TempMilliC int64 //thermlint:unit milli°C
+//
+//	// in a function doc comment, naming a parameter or result:
+//	//thermlint:unit t=milli°C
+//	//thermlint:unit °C        (bare form tags the first result)
+//	func convert(t int64) float64 { ... }
+//
+// The analyzer propagates units forward inside each function: through
+// assignments, type conversions, additive expressions and calls whose
+// results are tagged. It flags
+//
+//   - additive or comparison expressions mixing two known units;
+//   - arguments whose unit differs from the parameter's declared tag;
+//   - assignments of a known unit to a variable or field declared with
+//     a different tag;
+//   - returns whose unit differs from the declared result tag.
+//
+// Multiplication and division erase units (×1000 IS the conversion
+// idiom), and untagged values stay unknown — the analyzer only ever
+// complains when both sides carry explicit, different tags, so it has
+// no opinion about code outside the tagged boundaries.
+package unitsafe
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+	"sync"
+
+	"thermctl/internal/lint"
+)
+
+// Analyzer is the unit-safety check.
+var Analyzer = &lint.Analyzer{
+	Name: "unitsafe",
+	Doc:  "track //thermlint:unit tags through assignments and calls; flag mixed-unit arithmetic",
+	Run:  run,
+}
+
+const directive = "//thermlint:unit"
+
+// cutDirective returns the spec following a //thermlint:unit marker.
+// The marker must be followed by whitespace so that other directives
+// sharing the prefix never match.
+func cutDirective(text string) (string, bool) {
+	rest, ok := strings.CutPrefix(text, directive)
+	if !ok || rest == "" || (rest[0] != ' ' && rest[0] != '\t') {
+		return "", false
+	}
+	return rest, true
+}
+
+// table holds the program-wide unit declarations.
+type table struct {
+	// obj tags variables, constants, struct fields, parameters and
+	// named results.
+	obj map[types.Object]string
+	// result tags function results by index (covers unnamed results).
+	result map[*types.Func][]string
+}
+
+var (
+	cacheMu sync.Mutex
+	cache   = map[*lint.Program]*table{}
+)
+
+func tableFor(pass *lint.Pass) *table {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if t, ok := cache[pass.Prog]; ok {
+		return t
+	}
+	t := &table{obj: map[types.Object]string{}, result: map[*types.Func][]string{}}
+	for _, pkg := range pass.Prog.Pkgs {
+		for _, f := range pkg.Files {
+			t.collectFile(pkg, f)
+		}
+	}
+	cache[pass.Prog] = t
+	return t
+}
+
+// unitIn extracts the unit spec from a comment group, or "".
+func unitIn(groups ...*ast.CommentGroup) string {
+	for _, g := range groups {
+		if g == nil {
+			continue
+		}
+		for _, c := range g.List {
+			if rest, ok := cutDirective(c.Text); ok {
+				fields := strings.Fields(rest)
+				if len(fields) > 0 {
+					return fields[0]
+				}
+			}
+		}
+	}
+	return ""
+}
+
+func (t *table) collectFile(pkg *lint.Package, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ValueSpec:
+			if u := unitIn(n.Doc, n.Comment); u != "" {
+				for _, name := range n.Names {
+					if obj := pkg.Info.Defs[name]; obj != nil {
+						t.obj[obj] = u
+					}
+				}
+			}
+		case *ast.StructType:
+			for _, field := range n.Fields.List {
+				if u := unitIn(field.Doc, field.Comment); u != "" {
+					for _, name := range field.Names {
+						if obj := pkg.Info.Defs[name]; obj != nil {
+							t.obj[obj] = u
+						}
+					}
+				}
+			}
+		case *ast.FuncDecl:
+			t.collectFunc(pkg, n)
+		}
+		return true
+	})
+}
+
+// collectFunc reads //thermlint:unit lines from a function's doc
+// comment. "name=unit" tags the parameter or result called name; a bare
+// "unit" tags the first result.
+func (t *table) collectFunc(pkg *lint.Package, decl *ast.FuncDecl) {
+	if decl.Doc == nil {
+		return
+	}
+	fn, _ := pkg.Info.Defs[decl.Name].(*types.Func)
+	if fn == nil {
+		return
+	}
+	sig := fn.Type().(*types.Signature)
+	for _, c := range decl.Doc.List {
+		rest, ok := cutDirective(c.Text)
+		if !ok {
+			continue
+		}
+		fields := strings.Fields(rest)
+		if len(fields) == 0 {
+			continue
+		}
+		spec := fields[0]
+		name, unit, named := strings.Cut(spec, "=")
+		if !named {
+			// Bare unit: tag the first result.
+			if sig.Results().Len() > 0 {
+				t.tagResult(fn, 0, spec)
+			}
+			continue
+		}
+		if v := tupleByName(sig.Params(), name); v != nil {
+			t.obj[v] = unit
+			continue
+		}
+		if i, v := tupleIndexByName(sig.Results(), name); v != nil {
+			t.obj[v] = unit
+			t.tagResult(fn, i, unit)
+		}
+	}
+}
+
+func (t *table) tagResult(fn *types.Func, i int, unit string) {
+	rs := t.result[fn]
+	for len(rs) <= i {
+		rs = append(rs, "")
+	}
+	rs[i] = unit
+	t.result[fn] = rs
+	// Tag the named result object too, if there is one.
+	if v := fn.Type().(*types.Signature).Results().At(i); v.Name() != "" {
+		t.obj[v] = unit
+	}
+}
+
+func tupleByName(tp *types.Tuple, name string) *types.Var {
+	_, v := tupleIndexByName(tp, name)
+	return v
+}
+
+func tupleIndexByName(tp *types.Tuple, name string) (int, *types.Var) {
+	for i := 0; i < tp.Len(); i++ {
+		if tp.At(i).Name() == name {
+			return i, tp.At(i)
+		}
+	}
+	return -1, nil
+}
+
+func run(pass *lint.Pass) error {
+	tab := tableFor(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			decl, ok := n.(*ast.FuncDecl)
+			if !ok || decl.Body == nil {
+				return true
+			}
+			c := &checker{pass: pass, tab: tab, env: map[types.Object]string{}}
+			c.checkFunc(decl)
+			return false
+		})
+	}
+	return nil
+}
+
+// checker runs the forward unit propagation over one function body.
+type checker struct {
+	pass *lint.Pass
+	tab  *table
+	env  map[types.Object]string // flow-inferred units of local variables
+	fn   *types.Func
+}
+
+func (c *checker) checkFunc(decl *ast.FuncDecl) {
+	c.fn, _ = c.pass.TypesInfo.Defs[decl.Name].(*types.Func)
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			c.checkAssign(n)
+		case *ast.BinaryExpr:
+			c.checkBinary(n)
+		case *ast.CallExpr:
+			c.checkCall(n)
+		case *ast.ReturnStmt:
+			c.checkReturn(n)
+		}
+		return true
+	})
+}
+
+// declaredOf returns the declared (tagged) unit of the object behind an
+// assignable expression, together with that object.
+func (c *checker) declaredOf(e ast.Expr) (types.Object, string) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := c.pass.TypesInfo.Defs[e]
+		if obj == nil {
+			obj = c.pass.TypesInfo.Uses[e]
+		}
+		if obj == nil {
+			return nil, ""
+		}
+		return obj, c.tab.obj[obj]
+	case *ast.SelectorExpr:
+		if obj := c.pass.TypesInfo.Uses[e.Sel]; obj != nil {
+			return obj, c.tab.obj[obj]
+		}
+	case *ast.IndexExpr:
+		return c.declaredOf(e.X)
+	}
+	return nil, ""
+}
+
+// unitOf infers the unit of an expression, or "" when unknown.
+func (c *checker) unitOf(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := c.pass.TypesInfo.Uses[e]
+		if obj == nil {
+			obj = c.pass.TypesInfo.Defs[e]
+		}
+		if obj == nil {
+			return ""
+		}
+		if u, ok := c.tab.obj[obj]; ok {
+			return u
+		}
+		return c.env[obj]
+	case *ast.SelectorExpr:
+		if obj := c.pass.TypesInfo.Uses[e.Sel]; obj != nil {
+			return c.tab.obj[obj]
+		}
+	case *ast.IndexExpr:
+		return c.unitOf(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.SUB || e.Op == token.ADD {
+			return c.unitOf(e.X)
+		}
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.ADD, token.SUB:
+			lu, ru := c.unitOf(e.X), c.unitOf(e.Y)
+			switch {
+			case lu == ru:
+				return lu
+			case lu != "" && (ru == "" && c.isConstant(e.Y)):
+				return lu // offset by a constant keeps the unit
+			case ru != "" && (lu == "" && c.isConstant(e.X)):
+				return ru
+			}
+			// Mixed or half-unknown: the checker reports mixes; the
+			// result is unknown.
+		}
+		// MUL, QUO etc. erase units: scaling IS unit conversion.
+	case *ast.CallExpr:
+		units := c.unitsOfCall(e)
+		if len(units) == 1 {
+			return units[0]
+		}
+	}
+	return ""
+}
+
+// isConstant reports whether the expression has a compile-time value.
+func (c *checker) isConstant(e ast.Expr) bool {
+	tv, ok := c.pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}
+
+// unitsOfCall returns the units of a call's results. Conversions pass
+// the operand's unit through (float64(milliC) is still milli-°C).
+func (c *checker) unitsOfCall(call *ast.CallExpr) []string {
+	if tv, ok := c.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		return []string{c.unitOf(call.Args[0])}
+	}
+	fn := c.callee(call)
+	if fn == nil {
+		return nil
+	}
+	sig := fn.Type().(*types.Signature)
+	units := make([]string, sig.Results().Len())
+	for i := range units {
+		if u, ok := c.tab.obj[sig.Results().At(i)]; ok {
+			units[i] = u
+		}
+	}
+	if tagged, ok := c.tab.result[fn]; ok {
+		for i, u := range tagged {
+			if u != "" && i < len(units) {
+				units[i] = u
+			}
+		}
+	}
+	return units
+}
+
+func (c *checker) callee(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := c.pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+func (c *checker) checkAssign(as *ast.AssignStmt) {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN:
+		lu, ru := c.unitOf(as.Lhs[0]), c.unitOf(as.Rhs[0])
+		if lu != "" && ru != "" && lu != ru {
+			c.pass.Reportf(as.Pos(), "%s-unit value %s into a %s variable", ru, as.Tok, lu)
+		}
+		return
+	case token.ASSIGN, token.DEFINE:
+	default:
+		return // *=, /= and friends rescale, changing the unit
+	}
+
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		// Tuple assignment from a multi-result call.
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		units := c.unitsOfCall(call)
+		for i, lhs := range as.Lhs {
+			if i < len(units) {
+				c.flow(as, lhs, units[i])
+			}
+		}
+		return
+	}
+	for i, lhs := range as.Lhs {
+		if i < len(as.Rhs) {
+			c.flow(as, lhs, c.unitOf(as.Rhs[i]))
+		}
+	}
+}
+
+// flow records or checks one assignment of a value with unit u to lhs.
+func (c *checker) flow(at ast.Node, lhs ast.Expr, u string) {
+	obj, declared := c.declaredOf(lhs)
+	if declared != "" {
+		if u != "" && u != declared {
+			c.pass.Reportf(at.Pos(), "assigning %s value to %s (declared %s)", u, exprLabel(lhs), declared)
+		}
+		return
+	}
+	if obj != nil {
+		if _, isVar := obj.(*types.Var); isVar {
+			c.env[obj] = u
+		}
+	}
+}
+
+func (c *checker) checkBinary(b *ast.BinaryExpr) {
+	switch b.Op {
+	case token.ADD, token.SUB, token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+	default:
+		return
+	}
+	lu, ru := c.unitOf(b.X), c.unitOf(b.Y)
+	if lu != "" && ru != "" && lu != ru {
+		c.pass.Reportf(b.OpPos, "mixing %s and %s in '%s' expression", lu, ru, b.Op)
+	}
+}
+
+func (c *checker) checkCall(call *ast.CallExpr) {
+	fn := c.callee(call)
+	if fn == nil {
+		return
+	}
+	sig := fn.Type().(*types.Signature)
+	params := sig.Params()
+	for i, arg := range call.Args {
+		if i >= params.Len() || (sig.Variadic() && i == params.Len()-1) {
+			break // variadic tails carry no per-element tags
+		}
+		declared := c.tab.obj[params.At(i)]
+		if declared == "" {
+			continue
+		}
+		if u := c.unitOf(arg); u != "" && u != declared {
+			c.pass.Reportf(arg.Pos(), "passing %s value as parameter %s (declared %s) of %s",
+				u, params.At(i).Name(), declared, fn.Name())
+		}
+	}
+}
+
+func (c *checker) checkReturn(ret *ast.ReturnStmt) {
+	if c.fn == nil || len(ret.Results) == 0 {
+		return
+	}
+	units := c.tab.result[c.fn]
+	sig := c.fn.Type().(*types.Signature)
+	for i, res := range ret.Results {
+		var declared string
+		if i < len(units) {
+			declared = units[i]
+		}
+		if declared == "" && i < sig.Results().Len() {
+			declared = c.tab.obj[sig.Results().At(i)]
+		}
+		if declared == "" {
+			continue
+		}
+		if u := c.unitOf(res); u != "" && u != declared {
+			c.pass.Reportf(res.Pos(), "returning %s value as result declared %s", u, declared)
+		}
+	}
+}
+
+func exprLabel(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprLabel(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprLabel(e.X) + "[...]"
+	}
+	return "value"
+}

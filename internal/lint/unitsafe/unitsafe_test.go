@@ -1,0 +1,12 @@
+package unitsafe_test
+
+import (
+	"testing"
+
+	"thermctl/internal/lint/linttest"
+	"thermctl/internal/lint/unitsafe"
+)
+
+func TestUnitsafe(t *testing.T) {
+	linttest.Run(t, "testdata/us", unitsafe.Analyzer)
+}

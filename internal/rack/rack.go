@@ -62,6 +62,11 @@ type Rack struct {
 	nodes  []*node.Node
 	inletC []float64
 	last   time.Duration
+
+	// targetC and rises are scratch buffers reused by targets(): it
+	// runs on every controller step and must not allocate.
+	targetC []float64
+	rises   []float64
 }
 
 // New couples the nodes. Their current ambient is immediately set to
@@ -83,7 +88,13 @@ func New(cfg Config, nodes []*node.Node) (*Rack, error) {
 		// request for instantaneous mixing.
 		return nil, fmt.Errorf("rack: mixing time constant %v is not positive", cfg.MixTimeConst)
 	}
-	r := &Rack{cfg: cfg, nodes: nodes, inletC: make([]float64, len(nodes))}
+	r := &Rack{
+		cfg:     cfg,
+		nodes:   nodes,
+		inletC:  make([]float64, len(nodes)),
+		targetC: make([]float64, len(nodes)),
+		rises:   make([]float64, len(nodes)),
+	}
 	targets := r.targets()
 	copy(r.inletC, targets)
 	for i, n := range nodes {
@@ -93,10 +104,11 @@ func New(cfg Config, nodes []*node.Node) (*Rack, error) {
 }
 
 // targets returns the steady-state inlet temperature per slot for the
-// nodes' instantaneous power draw.
+// nodes' instantaneous power draw. The returned slice is the rack's
+// scratch buffer, valid until the next call.
 func (r *Rack) targets() []float64 {
-	out := make([]float64, len(r.nodes))
-	rises := make([]float64, len(r.nodes))
+	out := r.targetC
+	rises := r.rises
 	for i, n := range r.nodes {
 		rises[i] = r.cfg.ExhaustKPerW * n.Power().Total()
 	}

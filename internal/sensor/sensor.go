@@ -99,6 +99,8 @@ func (s *Sensor) AttachInjector(inj *faults.Injector) { s.inj = inj }
 // replays the last good sample (a real register holds its last
 // conversion), so legacy consumers keep working. Fault-aware consumers
 // should use ReadChecked.
+//
+//thermlint:unit °C
 func (s *Sensor) Read() float64 {
 	v, err := s.ReadChecked()
 	if err != nil {
@@ -110,9 +112,11 @@ func (s *Sensor) Read() float64 {
 	return v
 }
 
-// ReadChecked returns one temperature sample, or an error while a
+// ReadChecked returns one temperature sample in °C, or an error while a
 // dropout fault episode is active. A stuck episode freezes the reading
 // at the last good sample without erroring.
+//
+//thermlint:unit °C
 func (s *Sensor) ReadChecked() (float64, error) {
 	st := s.inj.State()
 	if st.SensorDropout {
@@ -149,17 +153,22 @@ func (s *Sensor) drawNoise() float64 {
 	if s.tick == nil {
 		return s.noise.Norm()
 	}
-	return rng.New(s.noiseBase ^ (s.tick() * 0x9e3779b97f4a7c15)).Norm()
+	src := rng.At(s.noiseBase ^ (s.tick() * 0x9e3779b97f4a7c15))
+	return src.Norm()
 }
 
 // Millidegrees returns one sample in millidegrees Celsius, the unit used
 // by Linux hwmon temp*_input files.
+//
+//thermlint:unit milli°C
 func (s *Sensor) Millidegrees() int64 {
 	return int64(math.Round(s.Read() * 1000))
 }
 
 // CheckedMillidegrees is Millidegrees with dropout faults surfaced as an
 // error, matching the EIO a dead hwmon temp*_input read returns.
+//
+//thermlint:unit milli°C
 func (s *Sensor) CheckedMillidegrees() (int64, error) {
 	v, err := s.ReadChecked()
 	if err != nil {

@@ -30,6 +30,7 @@ type Series struct {
 
 // Add appends a sample.
 func (s *Series) Add(t time.Duration, v float64) {
+	//thermlint:allow hotalloc -- a recorder's whole job is to accumulate samples; growth is amortized O(1)
 	s.Points = append(s.Points, Point{T: t, V: v})
 }
 
@@ -190,8 +191,10 @@ func (r *Recorder) Record(name string, t time.Duration, v float64) {
 	defer r.mu.Unlock()
 	s, ok := r.series[name]
 	if !ok {
+		//thermlint:allow hotalloc -- first-use only: a series is created once per name, then reused
 		s = &Series{Name: name}
 		r.series[name] = s
+		//thermlint:allow hotalloc -- first-use only: grows once per distinct series name
 		r.order = append(r.order, name)
 	}
 	s.Add(t, v)

@@ -21,7 +21,8 @@ if [ -n "$unformatted" ]; then
 fi
 
 echo "==> thermlint ./..."
-go run ./cmd/thermlint ./...
+# Plain output locally; inline ::error annotations under GitHub Actions.
+./scripts/lintannotate.sh ./...
 
 if command -v shellcheck >/dev/null 2>&1; then
 	echo "==> shellcheck scripts/*.sh"

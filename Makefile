@@ -26,9 +26,11 @@ check:
 	./scripts/check.sh
 
 # bench refreshes BENCH_cluster.json from the cluster scale benchmark
-# suite (BENCHTIME=1x for a smoke run).
+# suite (BENCHTIME=1x for a smoke run). FLEET=1 extends ClusterStep to
+# the 1k/10k/100k-node fleet matrix recorded in the committed
+# trajectory.
 bench:
-	./scripts/bench.sh
+	FLEET=1 ./scripts/bench.sh
 
 # coverage measures total statement coverage and enforces the floor
 # (FLOOR=0 to measure only). Leaves coverage.out for `go tool cover`.

@@ -29,6 +29,14 @@
 //
 // exits non-zero when EngineStep is more than 25% slower than
 // ClusterStep at any shape both report.
+//
+// With -parallel, benchjson gates the derived speedups section of a
+// document: every speedup of the named benchmark at or above the node
+// floor must be at least 1 - slack/100 — parallel stepping must beat
+// (or, on a single-CPU host, tie) serial wherever the cluster is large
+// enough to amortize dispatch:
+//
+//	benchjson -parallel ClusterStep -min-nodes 64 -slack 5 BENCH_cluster.json
 package main
 
 import (
@@ -86,6 +94,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "-within" {
 		withinMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "-parallel" {
+		parallelMain(os.Args[2:])
 		return
 	}
 	rep, err := parse(os.Stdin)

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// parallelMain implements `benchjson -parallel bench file.json
+// [-min-nodes n] [-slack pct]`: the sharded-stepping payoff gate. It
+// reads the derived speedups section of one trajectory document and
+// fails when any speedup entry of the named benchmark at or above the
+// node floor falls below 1 - slack/100 — that is, when parallel
+// stepping lost to serial at a scale where it is required to win (or,
+// on a single-CPU recording host where dispatch degrades to the inline
+// serial loop, to tie within the noise slack). Zero matching entries is
+// an error, not a pass: a renamed benchmark, a dropped workers=1
+// baseline or a shrunken node matrix must not disable the gate.
+//
+// scripts/bench.sh runs this after refreshing BENCH_cluster.json, and
+// CI runs it against the committed trajectory:
+//
+//	benchjson -parallel ClusterStep -min-nodes 64 -slack 5 BENCH_cluster.json
+func parallelMain(args []string) {
+	minNodes := 64
+	slack := 5.0
+	var operands []string
+	for i := 0; i < len(args); i++ {
+		// Flags accepted interleaved with the operands, like -compare
+		// and -within.
+		switch args[i] {
+		case "-min-nodes", "--min-nodes":
+			if i+1 >= len(args) {
+				fatalf("-min-nodes needs a value")
+			}
+			v, err := strconv.Atoi(args[i+1])
+			if err != nil || v < 1 {
+				fatalf("-min-nodes %q: want a positive node count", args[i+1])
+			}
+			minNodes = v
+			i++
+		case "-slack", "--slack":
+			if i+1 >= len(args) {
+				fatalf("-slack needs a value")
+			}
+			v, err := strconv.ParseFloat(args[i+1], 64)
+			if err != nil || v < 0 || v >= 100 {
+				fatalf("-slack %q: want a percentage in [0, 100)", args[i+1])
+			}
+			slack = v
+			i++
+		default:
+			operands = append(operands, args[i])
+		}
+	}
+	if len(operands) != 2 {
+		fatalf("-parallel wants bench file.json, got %d operand(s)", len(operands))
+	}
+	bench, file := operands[0], operands[1]
+	rep, err := loadReport(file)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	checked, losses := parallelGate(rep, bench, minNodes, slack, os.Stdout)
+	if checked == 0 {
+		fatalf("no %s speedup entry at nodes >= %d in %s (need a workers=1 baseline and at least one parallel run)",
+			bench, minNodes, file)
+	}
+	if losses > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: parallel %s loses to serial beyond %.0f%% slack at %d shape(s) with nodes >= %d\n",
+			bench, slack, losses, minNodes)
+		os.Exit(1)
+	}
+}
+
+// parallelGate prints a per-shape speedup table for bench at or above
+// minNodes and returns how many shapes were checked and how many fell
+// below the 1 - slackPct/100 floor. Shapes below minNodes are reported
+// informationally — small clusters are allowed to lose to serial, the
+// per-step dispatch cost is amortized only at scale.
+func parallelGate(rep *Report, bench string, minNodes int, slackPct float64, out io.Writer) (checked, losses int) {
+	floor := 1 - slackPct/100
+	fmt.Fprintf(out, "%-40s %9s %9s\n", bench+" parallel vs serial", "speedup", "floor")
+	for _, s := range rep.Speedups {
+		if s.Benchmark != bench {
+			continue
+		}
+		shape := fmt.Sprintf("nodes=%d/workers=%d", s.Nodes, s.Workers)
+		if s.Nodes < minNodes {
+			fmt.Fprintf(out, "%-40s %8.2fx %9s\n", shape, s.VsSerial, "exempt")
+			continue
+		}
+		checked++
+		mark := ""
+		if s.VsSerial < floor {
+			mark = "  LOSS"
+			losses++
+			if os.Getenv("GITHUB_ACTIONS") == "true" {
+				fmt.Fprintf(out, "::warning::%s %s speedup %.2fx is below the %.2fx floor (parallel loses to serial)\n",
+					bench, shape, s.VsSerial, floor)
+			}
+		}
+		fmt.Fprintf(out, "%-40s %8.2fx %8.2fx%s\n", shape, s.VsSerial, floor, mark)
+	}
+	return checked, losses
+}

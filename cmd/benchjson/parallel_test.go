@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func speedupRep(speedups ...Speedup) *Report {
+	return &Report{Suite: "cluster-step", Speedups: speedups}
+}
+
+func TestParallelGateFailsOnLoss(t *testing.T) {
+	r := speedupRep(
+		// 1.8x at scale: fine.
+		Speedup{Benchmark: "ClusterStep", Nodes: 256, Workers: 4, VsSerial: 1.8},
+		// 0.70x at scale: parallel lost to serial, beyond 5% slack.
+		Speedup{Benchmark: "ClusterStep", Nodes: 64, Workers: 4, VsSerial: 0.70},
+	)
+	var out bytes.Buffer
+	checked, losses := parallelGate(r, "ClusterStep", 64, 5, &out)
+	if checked != 2 || losses != 1 {
+		t.Fatalf("checked, losses = %d, %d, want 2, 1\noutput:\n%s",
+			checked, losses, out.String())
+	}
+	if !strings.Contains(out.String(), "LOSS") {
+		t.Errorf("output missing LOSS marker:\n%s", out.String())
+	}
+}
+
+func TestParallelGateSlackTolerance(t *testing.T) {
+	// 0.97x — a tie within noise on a single-CPU recording host.
+	r := speedupRep(Speedup{Benchmark: "ClusterStep", Nodes: 64, Workers: 4, VsSerial: 0.97})
+	var out bytes.Buffer
+	if _, losses := parallelGate(r, "ClusterStep", 64, 5, &out); losses != 0 {
+		t.Fatalf("losses = %d at 0.97x under 5%% slack, want 0", losses)
+	}
+	// The same ratio fails with the slack tightened to zero.
+	if _, losses := parallelGate(r, "ClusterStep", 64, 0, &out); losses != 1 {
+		t.Fatalf("losses = %d at 0.97x under 0%% slack, want 1", losses)
+	}
+}
+
+func TestParallelGateSmallClustersExempt(t *testing.T) {
+	// Dispatch cost is amortized only at scale: a 4-node cluster may
+	// lose to serial without failing the gate, and is not counted as
+	// checked (so it alone cannot satisfy the zero-matches guard).
+	r := speedupRep(
+		Speedup{Benchmark: "ClusterStep", Nodes: 4, Workers: 4, VsSerial: 0.4},
+		Speedup{Benchmark: "ClusterStep", Nodes: 128, Workers: 4, VsSerial: 1.2},
+	)
+	var out bytes.Buffer
+	checked, losses := parallelGate(r, "ClusterStep", 64, 5, &out)
+	if checked != 1 || losses != 0 {
+		t.Fatalf("checked, losses = %d, %d, want 1, 0\noutput:\n%s",
+			checked, losses, out.String())
+	}
+	if !strings.Contains(out.String(), "exempt") {
+		t.Errorf("output missing exempt marker:\n%s", out.String())
+	}
+}
+
+func TestParallelGateZeroMatchesIsDetectable(t *testing.T) {
+	// A renamed benchmark or a dropped serial baseline (no speedups
+	// derived at all) must surface as checked == 0 — parallelMain turns
+	// that into a hard error, never a silent pass.
+	r := speedupRep(Speedup{Benchmark: "EngineStep", Nodes: 256, Workers: 4, VsSerial: 2})
+	var out bytes.Buffer
+	if checked, _ := parallelGate(r, "ClusterStep", 64, 5, &out); checked != 0 {
+		t.Fatalf("checked = %d for a benchmark with no speedup entries, want 0", checked)
+	}
+}

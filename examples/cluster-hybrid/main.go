@@ -29,7 +29,7 @@ func main() {
 
 		// One hybrid controller per node, as daemons run per machine.
 		var hybrids []*thermctl.Hybrid
-		for _, n := range cluster.Nodes {
+		for i, n := range cluster.Nodes {
 			fan, err := thermctl.NewDynamicFanControl(n, pp, 50)
 			if err != nil {
 				log.Fatal(err)
@@ -39,7 +39,7 @@ func main() {
 				log.Fatal(err)
 			}
 			h := core.NewHybrid(fan, dvfs)
-			cluster.AddController(h)
+			cluster.AddNodeController(i, h)
 			hybrids = append(hybrids, h)
 		}
 

@@ -49,7 +49,7 @@ func main() {
 			log.Fatal(err)
 		}
 		rack.Settle(0)
-		for _, n := range rack.Nodes {
+		for i, n := range rack.Nodes {
 			fan, err := thermctl.NewDynamicFanControl(n, pp, 60)
 			if err != nil {
 				log.Fatal(err)
@@ -58,7 +58,7 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			rack.AddController(core.NewHybrid(fan, dvfs))
+			rack.AddNodeController(i, core.NewHybrid(fan, dvfs))
 		}
 
 		res := rack.RunProgram(thermctl.BTB4(), 0)

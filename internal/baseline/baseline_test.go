@@ -194,13 +194,13 @@ func TestCPUSpeedChurnsOnParallelWorkload(t *testing.T) {
 		t.Fatal(err)
 	}
 	c.Settle(0)
-	for _, n := range c.Nodes {
+	for i, n := range c.Nodes {
 		cs, err := NewCPUSpeed(DefaultCPUSpeedConfig(), n.FS,
 			&core.SysfsFreqPort{FS: n.FS, Paths: n.Cpufreq})
 		if err != nil {
 			t.Fatal(err)
 		}
-		c.AddController(cs)
+		c.AddNodeController(i, cs)
 	}
 	// Communication long enough that most evaluation intervals see the
 	// dip (real BT's longer exchanges do this intermittently).

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"os"
 	"runtime"
 	"testing"
 	"time"
@@ -33,6 +34,23 @@ func benchWorkerCounts() []int {
 	return out
 }
 
+// benchNodeShapes returns the cluster sizes for the scale benchmarks:
+// the rack-scale smoke shapes always, plus the fleet-scale shapes
+// (1k/10k/100k nodes) when THERMCTL_BENCH_FLEET is set. The fleet
+// matrix is where the hierarchical step loop has to pay off —
+// node-steps/s should hold roughly flat from 1k to 100k if per-step
+// dispatch stays O(nodes) with no per-round allocation — but a 100k
+// cluster costs ~700 MB and seconds of setup per sub-benchmark, so CI
+// smoke keeps the small shapes and `make bench` opts in via the
+// environment variable.
+func benchNodeShapes() []int {
+	shapes := []int{4, 64, 256}
+	if os.Getenv("THERMCTL_BENCH_FLEET") != "" {
+		shapes = append(shapes, 1000, 10000, 100000)
+	}
+	return shapes
+}
+
 func benchCluster(b *testing.B, nodes, workers int) *Cluster {
 	b.Helper()
 	c, err := New(nodes, DefaultDt, 1)
@@ -52,9 +70,10 @@ func benchCluster(b *testing.B, nodes, workers int) *Cluster {
 // worker counts. Within one nodes= group, ns/op at workers=1 over
 // ns/op at workers=W is the parallel speedup; results are
 // byte-identical across the sweep (see TestParallelStepByteIdentical),
-// so the sweep measures wall-clock only.
+// so the sweep measures wall-clock only. With THERMCTL_BENCH_FLEET set
+// the matrix extends to 1k/10k/100k nodes (see benchNodeShapes).
 func BenchmarkClusterStep(b *testing.B) {
-	for _, nodes := range []int{4, 64, 256} {
+	for _, nodes := range benchNodeShapes() {
 		for _, workers := range benchWorkerCounts() {
 			b.Run(fmt.Sprintf("nodes=%d/workers=%d", nodes, workers), func(b *testing.B) {
 				c := benchCluster(b, nodes, workers)
@@ -95,7 +114,7 @@ func BenchmarkEngineStep(b *testing.B) {
 			b.Run(fmt.Sprintf("nodes=%d/workers=%d", nodes, workers), func(b *testing.B) {
 				c := benchCluster(b, nodes, workers)
 				defer c.Close()
-				for _, n := range c.Nodes {
+				for i, n := range c.Nodes {
 					read := core.SysfsTemp(n.FS, n.Hwmon.TempInput)
 					fan, err := core.NewController(core.DefaultConfig(50), read,
 						core.ActuatorBinding{Actuator: core.NewFanActuator(
@@ -111,7 +130,7 @@ func BenchmarkEngineStep(b *testing.B) {
 					if err != nil {
 						b.Fatal(err)
 					}
-					c.AddController(core.NewHybrid(fan, dvfs))
+					c.AddNodeController(i, core.NewHybrid(fan, dvfs))
 				}
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {

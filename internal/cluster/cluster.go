@@ -13,18 +13,35 @@
 // Phase transitions are handled with sub-step precision — a process that
 // exhausts its compute work 12 ms into a 50 ms step spends the remaining
 // 38 ms at the barrier — so execution-time measurements are accurate to
-// well under one step per iteration. Only the barrier *release* is
-// evaluated at step boundaries, since it is a global decision.
+// well under one step per iteration: residual compute worth less than
+// the 1 ns slice resolution is carried into the next round rather than
+// dropped. Only the barrier *release* is evaluated at step boundaries,
+// since it is a global decision.
+//
+// # Hierarchical stepping
+//
+// The step loop is hierarchical, mirroring ControlPULP's fast per-node
+// inner loop under a slower cluster-level outer loop. Controllers whose
+// policy reads only one node's sensors and actuates only that node —
+// the common case: a fan PID, a tDVFS daemon, their hybrid — are
+// attached with AddNodeController and run inside the *parallel* phase,
+// sharded with the node advance. Cross-node work — rack coupling,
+// fault-plane replay, barrier release, fleet statistics — is attached
+// with AddController and runs in the serial phases around it. See
+// DESIGN.md §11.
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"thermctl/internal/metrics"
 	"thermctl/internal/node"
+	"thermctl/internal/power"
 	"thermctl/internal/rng"
 	"thermctl/internal/simclock"
+	"thermctl/internal/thermal"
 	"thermctl/internal/workload"
 )
 
@@ -52,7 +69,19 @@ type Cluster struct {
 	Nodes []*node.Node
 	Clock *simclock.Clock
 
-	controllers []Controller
+	// Controller phases. pre and post run single-threaded every step;
+	// locals[i] runs inside the parallel phase on whichever worker
+	// advances node i. AddController fills pre until the first
+	// AddNodeController call and post afterwards, so the wiring order
+	// "globals, then per-node controllers, then trailing globals"
+	// (probes and the fault plane first, rack statistics last) executes
+	// in exactly the order it was attached, as it did when all
+	// controllers shared one serial list.
+	pre     []Controller
+	locals  [][]Controller
+	post    []Controller
+	nLocals int
+
 	// WaitUtil is the utilization of a process blocked at a barrier: an
 	// MPI rank in a blocking wait is near idle but not at zero.
 	WaitUtil float64
@@ -67,11 +96,23 @@ type Cluster struct {
 	// metrics.go); every handle is nil-safe.
 	met clusterMetrics
 
-	// stepJob advances node i by stepDt. It is wired once in
-	// NewWithNodes so Step stays allocation-free (a closure literal in
-	// Step itself would allocate every round).
-	stepJob func(i int)
-	stepDt  time.Duration
+	// The per-round jobs are wired once at construction so the hot
+	// loops stay allocation-free (a closure literal inside Step or
+	// RunProgram would allocate every round — thermlint's hotalloc
+	// analyzer watches both, via the Step and RunProgram call-graph
+	// roots). Each job reads its round parameters from the fields
+	// below, which the single-threaded code refreshes before dispatch.
+	stepJob  func(i int)
+	localJob func(i int)
+	progJob  func(i int)
+	stepDt   time.Duration
+	ctlNow   time.Duration
+	progDt   time.Duration
+	prog     workload.Program
+
+	// progStates holds one SPMD process slot per node, reused across
+	// RunProgram calls (the slice length is fixed by the node count).
+	progStates []procState
 }
 
 // New builds a cluster of n default nodes stepping at dt. Node i is
@@ -81,16 +122,28 @@ type Cluster struct {
 // would collide whenever two seeds differ by a multiple of the
 // stride).
 func New(n int, dt time.Duration, seed uint64) (*Cluster, error) {
-	c := &Cluster{Clock: simclock.NewClock(dt), WaitUtil: 0.06, workers: 1}
+	if n <= 0 {
+		return nil, fmt.Errorf("cluster: no nodes")
+	}
+	// Hot per-node state is laid out struct-of-arrays: the thermal
+	// integrator states and power-meter accumulators of all nodes live
+	// in two contiguous slices, so the parallel sweep walks dense
+	// memory instead of chasing per-node heap islands. The node API is
+	// unchanged — each node's Thermal/Meter point into its slot.
+	therm := make([]thermal.State, n)
+	meters := make([]power.Meter, n)
+	nodes := make([]*node.Node, 0, n)
 	for i := 0; i < n; i++ {
-		nd, err := node.New(node.DefaultConfig(fmt.Sprintf("node%d", i), rng.Mix(seed, uint64(i))))
+		cfg := node.DefaultConfig(fmt.Sprintf("node%d", i), rng.Mix(seed, uint64(i)))
+		cfg.ThermalState = &therm[i]
+		cfg.Meter = &meters[i]
+		nd, err := node.New(cfg)
 		if err != nil {
 			return nil, err
 		}
-		c.Nodes = append(c.Nodes, nd)
+		nodes = append(nodes, nd)
 	}
-	c.stepJob = func(i int) { c.Nodes[i].Step(c.stepDt) }
-	return c, nil
+	return NewWithNodes(nodes, dt)
 }
 
 // NewWithNodes builds a cluster from pre-constructed nodes (e.g. with
@@ -99,16 +152,58 @@ func NewWithNodes(nodes []*node.Node, dt time.Duration) (*Cluster, error) {
 	if len(nodes) == 0 {
 		return nil, fmt.Errorf("cluster: no nodes")
 	}
-	c := &Cluster{Clock: simclock.NewClock(dt), Nodes: nodes, WaitUtil: 0.06, workers: 1}
-	// The per-round advance job is built once here: a closure literal in
-	// Step would allocate on every round (hotalloc). It reads the round's
-	// dt from stepDt, which Step refreshes before dispatch.
+	c := &Cluster{
+		Clock:      simclock.NewClock(dt),
+		Nodes:      nodes,
+		WaitUtil:   0.06,
+		workers:    1,
+		progStates: make([]procState, len(nodes)),
+	}
+	// The per-round jobs are built once here: a closure literal in
+	// Step/RunProgram would allocate on every round (hotalloc). Each
+	// reads its round parameters from cluster fields refreshed before
+	// dispatch.
 	c.stepJob = func(i int) { c.Nodes[i].Step(c.stepDt) }
+	c.localJob = func(i int) {
+		for _, ctl := range c.locals[i] {
+			ctl.OnStep(c.ctlNow)
+		}
+	}
+	c.progJob = func(i int) { c.advanceProc(c.Nodes[i], &c.progStates[i], c.prog, c.progDt) }
 	return c, nil
 }
 
-// AddController registers a controller to be invoked every step.
-func (c *Cluster) AddController(ctl Controller) { c.controllers = append(c.controllers, ctl) }
+// AddController registers a cluster-level controller to be invoked
+// single-threaded every step: before the node-local phase when attached
+// before the first AddNodeController call, after it otherwise. Use this
+// for anything that observes or actuates more than one node (rack
+// coupling, fleet statistics, the fault plane).
+func (c *Cluster) AddController(ctl Controller) {
+	if c.nLocals == 0 {
+		c.pre = append(c.pre, ctl)
+		return
+	}
+	c.post = append(c.post, ctl)
+}
+
+// AddNodeController registers a node-local controller: one whose policy
+// reads only node i's sensors and actuates only node i (a fan PID, a
+// tDVFS daemon, their hybrid). It runs inside the parallel phase on
+// whichever worker owns node i that step, after every node has
+// advanced and after the pre-phase cluster controllers; per-node
+// attachment order is preserved. It must not touch any other node or
+// shared mutable state — that is what keeps traces byte-identical
+// across worker counts. Panics if i is out of range.
+func (c *Cluster) AddNodeController(i int, ctl Controller) {
+	if i < 0 || i >= len(c.Nodes) {
+		panic(fmt.Sprintf("cluster: AddNodeController index %d out of range [0,%d)", i, len(c.Nodes)))
+	}
+	if c.locals == nil {
+		c.locals = make([][]Controller, len(c.Nodes))
+	}
+	c.locals[i] = append(c.locals[i], ctl)
+	c.nLocals++
+}
 
 // Settle equilibrates every node at the given utilization.
 func (c *Cluster) Settle(util float64) {
@@ -117,20 +212,35 @@ func (c *Cluster) Settle(util float64) {
 	}
 }
 
+// tickControllers runs the control half of a step: advance the clock,
+// then the hierarchical controller phases — cluster-level pre
+// controllers serially, node-local controllers sharded across the
+// workers, cluster-level post controllers serially.
 func (c *Cluster) tickControllers() {
 	c.Clock.Step()
 	now := c.Clock.Now()
-	for _, ctl := range c.controllers {
+	for _, ctl := range c.pre {
+		ctl.OnStep(now)
+	}
+	if c.nLocals > 0 {
+		c.ctlNow = now
+		c.advanceNodes(c.localJob)
+	}
+	for _, ctl := range c.post {
 		ctl.OnStep(now)
 	}
 	c.met.steps.Inc()
 }
 
-// Step advances every node — in parallel across the worker shards when
-// SetWorkers configured a pool — and then the controllers by one clock
-// step. The controller phase is always single-threaded: it begins only
-// after the worker barrier, so controllers observe every node at the
-// same step boundary, exactly as under serial stepping.
+// Step advances the cluster by one clock step, hierarchically: every
+// node's device models advance — in parallel across the workers when
+// SetWorkers configured a pool — then the cluster-level pre controllers
+// run single-threaded, then the node-local controllers run sharded like
+// the advance, then the cluster-level post controllers run
+// single-threaded. Every serial phase begins only after the preceding
+// parallel sweep has fully drained, so cluster controllers observe
+// every node at the same step boundary, exactly as under serial
+// stepping.
 func (c *Cluster) Step() {
 	c.stepDt = c.Clock.Dt()
 	if c.met.timed() {
@@ -181,25 +291,39 @@ type RunResult struct {
 	ExecTime time.Duration
 	// TimedOut reports whether the run hit maxTime before completion.
 	TimedOut bool
+	// Err is non-nil when the run could not start (e.g. maxTime <= 0
+	// asked for the ideal-time bound but a node's CPU has no P-state
+	// table to derive it from). ExecTime is zero in that case.
+	Err error
 }
+
+// ErrNoPStateTable reports that RunProgram was asked to derive its
+// default time bound (maxTime <= 0) from the slowest P-state of a CPU
+// whose frequency table is empty. A sentinel rather than a formatted
+// error: RunProgram is a hot root and must not allocate per round.
+var ErrNoPStateTable = errors.New(
+	"cluster: maxTime <= 0 derives its bound from the slowest P-state, but the CPU frequency table is empty")
 
 // RunProgram executes prog SPMD across all nodes with barrier
 // synchronization, stepping controllers throughout, and returns the
 // execution time. maxTime bounds the run (0 means 10× the ideal time at
-// the lowest frequency).
+// the lowest frequency; that default requires a non-empty P-state
+// table on node 0 — see RunResult.Err and ErrNoPStateTable).
 func (c *Cluster) RunProgram(prog workload.Program, maxTime time.Duration) RunResult {
 	if len(prog.Iters) == 0 || len(c.Nodes) == 0 {
 		return RunResult{Program: prog.Name}
 	}
 	if maxTime <= 0 {
 		tab := c.Nodes[0].CPU.Table()
+		if len(tab) == 0 {
+			return RunResult{Program: prog.Name, Err: ErrNoPStateTable}
+		}
 		slowest := tab[len(tab)-1].FreqGHz
 		maxTime = time.Duration(10 * prog.IdealSeconds(slowest) * float64(time.Second))
 	}
 
-	states := make([]procState, len(c.Nodes))
-	for i := range states {
-		states[i] = procState{
+	for i := range c.progStates {
+		c.progStates[i] = procState{
 			workLeft: prog.Iters[0].ComputeGC,
 			memLeft:  durSec(prog.Iters[0].MemSec),
 		}
@@ -209,11 +333,12 @@ func (c *Cluster) RunProgram(prog workload.Program, maxTime time.Duration) RunRe
 	}
 
 	start := c.Clock.Now()
-	dt := c.Clock.Dt()
+	c.progDt = c.Clock.Dt()
+	c.prog = prog
 	for {
 		allDone := true
-		for i := range states {
-			if states[i].ph != phaseDone {
+		for i := range c.progStates {
+			if c.progStates[i].ph != phaseDone {
 				allDone = false
 				break
 			}
@@ -227,9 +352,11 @@ func (c *Cluster) RunProgram(prog workload.Program, maxTime time.Duration) RunRe
 
 		// Parallel phase: each process advances against its own node
 		// and its own state slot; prog and WaitUtil are read-only.
-		// Barrier release is a global decision and stays serial.
-		c.advanceNodes(func(i int) { c.advanceProc(c.Nodes[i], &states[i], prog, dt) })
-		c.releaseBarrier(states, prog)
+		// Barrier release is a global decision and stays serial. The
+		// job is pre-wired at construction (progJob) — it reads
+		// prog/progDt/progStates from the fields refreshed above.
+		c.advanceNodes(c.progJob)
+		c.releaseBarrier(c.progStates, prog)
 		c.tickControllers()
 	}
 }
@@ -248,26 +375,35 @@ func (c *Cluster) advanceProc(n *node.Node, st *procState, prog workload.Program
 		case phaseCompute:
 			it := prog.Iters[st.iter]
 			rate := n.CPU.FreqGHz() * it.ComputeUtil // GC per second
-			if rate <= 0 {
-				// A zero-utilization "compute" phase never finishes by
-				// retiring work; treat it as already complete.
+			if rate <= 0 || st.workLeft <= 1e-9 {
+				// Zero-rate "compute" never finishes by retiring work,
+				// and a residual at or below the accounting epsilon is
+				// complete; either way the phase is over.
+				st.workLeft = 0
 				st.ph = phaseMem
 				continue
 			}
 			need := time.Duration(st.workLeft / rate * float64(time.Second))
+			if need < time.Nanosecond {
+				// The residual is worth less than the 1 ns slice
+				// resolution at the current clock. Rounding the slice
+				// *down* would silently drop the work (the bug this
+				// guards against); round it up to one 1 ns slice
+				// instead, so the residual is retired and accounted.
+				// Any unretired remainder (e.g. the node stalls in a
+				// P-state transition) stays in workLeft and carries
+				// into the next round.
+				need = time.Nanosecond
+			}
 			slice := remaining
 			if need < slice {
 				slice = need
-			}
-			if slice < time.Nanosecond {
-				st.workLeft = 0
-				st.ph = phaseMem
-				continue
 			}
 			n.SetUtilization(it.ComputeUtil)
 			st.workLeft -= n.Step(slice)
 			remaining -= slice
 			if st.workLeft <= 1e-9 {
+				st.workLeft = 0
 				st.ph = phaseMem
 			}
 

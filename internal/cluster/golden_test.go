@@ -69,7 +69,7 @@ func hybridClusterTrace(t *testing.T, workers int) string {
 
 	var fans []*core.Controller
 	var dvfss []*core.TDVFS
-	for _, n := range c.Nodes {
+	for i, n := range c.Nodes {
 		read := core.SysfsTemp(n.FS, n.Hwmon.TempInput)
 		fan, err := core.NewController(core.DefaultConfig(50), read,
 			core.ActuatorBinding{Actuator: core.NewFanActuator(
@@ -85,7 +85,12 @@ func hybridClusterTrace(t *testing.T, workers int) string {
 		if err != nil {
 			t.Fatal(err)
 		}
-		c.AddController(core.NewHybrid(fan, dvfs))
+		// Node-local attachment: each hybrid reads and actuates only its
+		// own node, so it runs in the sharded phase. The trace must stay
+		// byte-identical to the committed golden recorded under the
+		// serial controller list — that equality is this test's proof
+		// that the hierarchical split preserves behavior.
+		c.AddNodeController(i, core.NewHybrid(fan, dvfs))
 		fans = append(fans, fan)
 		dvfss = append(dvfss, dvfs)
 	}
@@ -119,6 +124,11 @@ func hybridClusterTrace(t *testing.T, workers int) string {
 }
 
 func TestGoldenHybridCluster(t *testing.T) {
+	// Raise GOMAXPROCS so the pool's goroutine path runs even on a
+	// single-CPU host (dispatch steps inline at GOMAXPROCS 1, which
+	// would make the multi-worker comparisons vacuous).
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
 	path := filepath.Join("testdata", "golden", "hybrid-cluster.trace")
 	ref := hybridClusterTrace(t, 1)
 	if *update {

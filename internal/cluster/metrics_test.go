@@ -54,6 +54,7 @@ func TestClusterMetricsSerial(t *testing.T) {
 }
 
 func TestClusterMetricsSharded(t *testing.T) {
+	forceProcs(t, 4) // the pool's inline single-P path records no shard metrics
 	c, err := New(8, DefaultDt, 1)
 	if err != nil {
 		t.Fatal(err)
@@ -89,6 +90,7 @@ func TestClusterMetricsSharded(t *testing.T) {
 }
 
 func TestClusterMetricsPoolBeforeInstrument(t *testing.T) {
+	forceProcs(t, 4)
 	c, err := New(8, DefaultDt, 1)
 	if err != nil {
 		t.Fatal(err)

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"thermctl/internal/core"
 	"thermctl/internal/workload"
 )
 
@@ -28,6 +29,29 @@ func signature(t *testing.T, workers int) []byte {
 		t.Fatalf("Workers() = %d after SetWorkers(%d)", c.Workers(), workers)
 	}
 	c.Settle(0)
+
+	// Node-local control in the sharded phase: each hybrid observes and
+	// actuates only its own node, so its decisions alter the trajectory
+	// (fan duty, frequency) and any cross-worker nondeterminism in the
+	// local phase would surface in the signature.
+	for i, n := range c.Nodes {
+		read := core.SysfsTemp(n.FS, n.Hwmon.TempInput)
+		fan, err := core.NewController(core.DefaultConfig(50), read,
+			core.ActuatorBinding{Actuator: core.NewFanActuator(
+				&core.SysfsFanPort{FS: n.FS, Chip: n.Hwmon}, 100)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		act, err := core.NewDVFSActuator(&core.SysfsFreqPort{FS: n.FS, Paths: n.Cpufreq})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dvfs, err := core.NewTDVFS(core.DefaultTDVFSConfig(50), read, act)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.AddNodeController(i, core.NewHybrid(fan, dvfs))
+	}
 
 	var sig []byte
 	bits := func(v float64) {
@@ -69,6 +93,7 @@ func signature(t *testing.T, workers int) []byte {
 // for every worker count, including worker counts above the node count
 // (clamped) — the pool only changes wall-clock time.
 func TestParallelStepByteIdentical(t *testing.T) {
+	forceProcs(t, 4) // exercise the real pool even on a single-CPU host
 	want := signature(t, 1)
 	if len(want) == 0 {
 		t.Fatal("empty signature")
@@ -85,6 +110,7 @@ func TestParallelStepByteIdentical(t *testing.T) {
 // TestParallelRunGeneratorMatchesSerial covers the Step/RunGenerator
 // path on its own, without a program phase.
 func TestParallelRunGeneratorMatchesSerial(t *testing.T) {
+	forceProcs(t, 4)
 	run := func(workers int) []float64 {
 		c, err := New(5, DefaultDt, 99)
 		if err != nil {

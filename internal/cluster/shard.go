@@ -2,123 +2,179 @@ package cluster
 
 import (
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"thermctl/internal/metrics"
 )
 
-// shardPool is a persistent pool of worker goroutines that advance
-// disjoint shards of the cluster's nodes in parallel. Nodes receive a
-// fixed contiguous shard assignment when the pool is built; every
-// dispatch wakes each worker exactly once, the workers run the step's
-// job over their own nodes, and dispatch returns only after all of them
-// have finished — a full barrier, so the caller's serial phase
-// (barrier release, controllers, rack coupling) never overlaps node
-// advancement.
+// shardPool is a persistent pool of worker goroutines that advance the
+// cluster's nodes in parallel by chunked work-stealing. There is no
+// fixed shard assignment: every dispatch resets one atomic claim
+// counter, and each participant — the dispatching goroutine itself plus
+// the pool's helper goroutines — repeatedly claims the next contiguous
+// chunk of node indices until the counter passes the node count. A fast
+// participant therefore keeps claiming instead of idling at a barrier
+// while a slow one finishes a fat shard (the imbalance the
+// barrierWaitSeconds metric measures); dispatch still returns only
+// after every participant has drained, so the caller's serial phase
+// never overlaps node advancement.
+//
+// Two structural decisions keep the pool from losing to serial:
+//
+//   - The dispatcher participates. It wakes the helpers and then enters
+//     the same claim loop, so the goroutine that would otherwise block
+//     at the join does a full share of the work, and a dispatch with
+//     little work effectively degenerates to the serial loop.
+//   - A single-P runtime steps inline. When GOMAXPROCS is 1 the
+//     helpers cannot overlap anything — goroutine handoff would be pure
+//     scheduling overhead — so dispatch runs the whole job on the
+//     calling goroutine and never touches the channels. This is what
+//     makes workers>1 no worse than serial on a one-CPU host.
 //
 // Because a node's step touches only that node's state (the shardsafe
 // analyzer enforces the absence of package-level mutable state in the
-// model packages), the floating-point work performed for node i is the
-// same instruction sequence regardless of which worker runs it or in
-// what order the shards complete. Results are therefore byte-identical
-// to serial execution for every worker count; the pool only changes
-// wall-clock time.
+// packages the parallel phase executes), the floating-point work
+// performed for node i is the same instruction sequence regardless of
+// which participant runs it or in what order chunks are claimed.
+// Results are therefore byte-identical to serial execution for every
+// worker count; the pool only changes wall-clock time.
 type shardPool struct {
-	// shards[w] holds the node indices assigned to worker w. The
-	// assignment is contiguous so workers walk adjacent nodes
-	// (cache-friendly) and never share an index.
-	shards [][]int
+	// n is the node count; chunk is the claim granularity, sized so the
+	// sweep splits into ~8 chunks per participant — fine enough that
+	// stealing balances, coarse enough that participants walk adjacent
+	// nodes (cache-friendly) and the claim counter stays cold.
+	n     int
+	chunk int
 
 	// job is the per-node work of the current dispatch. It is written
-	// by dispatch before the start signals and read by the workers
+	// by dispatch before the start signals and read by the helpers
 	// after them; the channel operations order the accesses.
 	job func(node int)
 
-	// met points at the owning cluster's metric handles; workers time
-	// their shards only while met.timed() reports instrumentation, so
-	// the uninstrumented hot path takes no wall-clock reads. Written
-	// only while the pool is idle (wiring time).
+	// next is the claim counter: the lowest node index not yet claimed.
+	// Participants advance it by chunk with an atomic add.
+	next atomic.Int64
+
+	// met points at the owning cluster's metric handles; participants
+	// time their claimed work only while met.timed() reports
+	// instrumentation, so the uninstrumented hot path takes no
+	// wall-clock reads. Written only while the pool is idle (wiring
+	// time).
 	met *clusterMetrics
 
+	// start carries the per-helper wake signals; done carries each
+	// helper's wall time for the completed dispatch (zero when timing
+	// is off — it then only signals).
 	start []chan struct{}
-	// done carries each worker's shard wall time for the completed
-	// dispatch (zero when timing is off — it then only signals).
-	done chan time.Duration
-	quit chan struct{}
+	done  chan time.Duration
+	quit  chan struct{}
 }
 
-// newShardPool starts workers goroutines over n nodes. workers must be
-// in [2, n]; callers clamp before constructing.
+// newShardPool builds a pool with the given parallelism over n nodes.
+// workers counts the dispatcher, so workers-1 helper goroutines are
+// started. workers must be in [2, n]; callers clamp before
+// constructing.
 func newShardPool(workers, n int) *shardPool {
-	p := &shardPool{
-		shards: make([][]int, workers),
-		start:  make([]chan struct{}, workers),
-		done:   make(chan time.Duration, workers),
-		quit:   make(chan struct{}),
+	chunk := n / (workers * 8)
+	if chunk < 1 {
+		chunk = 1
 	}
-	for w := 0; w < workers; w++ {
-		lo, hi := w*n/workers, (w+1)*n/workers
-		shard := make([]int, 0, hi-lo)
-		for i := lo; i < hi; i++ {
-			shard = append(shard, i)
-		}
-		p.shards[w] = shard
+	helpers := workers - 1
+	p := &shardPool{
+		n:     n,
+		chunk: chunk,
+		start: make([]chan struct{}, helpers),
+		done:  make(chan time.Duration, helpers),
+		quit:  make(chan struct{}),
+	}
+	for w := 0; w < helpers; w++ {
 		p.start[w] = make(chan struct{}, 1)
 		go p.loop(w)
 	}
 	return p
 }
 
-// loop is one worker: wait for the step signal, advance the shard,
-// report completion.
+// loop is one helper: wait for the step signal, claim and run chunks
+// until the sweep is drained, report completion.
 func (p *shardPool) loop(w int) {
 	for {
 		select {
 		case <-p.quit:
 			return
 		case <-p.start[w]:
-			var elapsed time.Duration
-			if p.met.timed() {
-				begin := metrics.Now()
-				for _, i := range p.shards[w] {
-					p.job(i)
-				}
-				elapsed = metrics.Since(begin)
-			} else {
-				for _, i := range p.shards[w] {
-					p.job(i)
-				}
-			}
-			p.done <- elapsed
+			p.done <- p.run()
 		}
 	}
 }
 
-// dispatch runs job(i) for every node index, sharded across the
-// workers, and returns after all shards have completed.
+// run claims chunks until the sweep is exhausted and returns the wall
+// time spent (zero when instrumentation is off).
+func (p *shardPool) run() time.Duration {
+	if !p.met.timed() {
+		p.claim()
+		return 0
+	}
+	begin := metrics.Now()
+	p.claim()
+	return metrics.Since(begin)
+}
+
+// claim is the stealing loop: grab the next chunk of node indices,
+// run the job over it, repeat until the counter passes the node count.
+func (p *shardPool) claim() {
+	for {
+		lo := int(p.next.Add(int64(p.chunk))) - p.chunk
+		if lo >= p.n {
+			return
+		}
+		hi := lo + p.chunk
+		if hi > p.n {
+			hi = p.n
+		}
+		for i := lo; i < hi; i++ {
+			p.job(i)
+		}
+	}
+}
+
+// dispatch runs job(i) for every node index across the participants and
+// returns after the sweep is fully drained.
 func (p *shardPool) dispatch(job func(node int)) {
+	if runtime.GOMAXPROCS(0) == 1 {
+		// One P: helpers cannot overlap the dispatcher, so goroutine
+		// handoff is pure overhead. Step inline — byte-identical by the
+		// independence argument above, and exactly as fast as serial.
+		for i := 0; i < p.n; i++ {
+			job(i)
+		}
+		return
+	}
 	p.job = job
+	p.next.Store(0)
 	for _, ch := range p.start {
-		//thermlint:allow onstepblock -- the worker barrier IS the step: workers drain start immediately and the loop must wait for them
+		//thermlint:allow onstepblock -- buffered wake; a helper drains its start channel before the next dispatch can send
 		ch <- struct{}{}
 	}
+	mine := p.run() // the dispatcher is a participant, not a bystander
 	if !p.met.timed() {
 		for range p.start {
-			//thermlint:allow onstepblock -- barrier join; every worker sends exactly one done per dispatch
+			//thermlint:allow onstepblock -- sweep join; every helper sends exactly one done per dispatch
 			<-p.done
 		}
 		p.job = nil
 		return
 	}
-	// Instrumented: record each shard's wall time and, once all have
-	// reported, the slowest-minus-fastest spread — the time the fast
-	// workers idled at the barrier this step.
-	var fastest, slowest time.Duration
-	for i := range p.start {
-		//thermlint:allow onstepblock -- instrumented barrier join, same contract as the untimed path
+	// Instrumented: record each participant's claimed-work wall time
+	// and, once all have reported, the slowest-minus-fastest spread —
+	// the residual imbalance stealing could not smooth this step.
+	fastest, slowest := mine, mine
+	p.met.shardSeconds.Observe(mine.Seconds())
+	for range p.start {
+		//thermlint:allow onstepblock -- instrumented sweep join, same contract as the untimed path
 		d := <-p.done
 		p.met.shardSeconds.Observe(d.Seconds())
-		if i == 0 || d < fastest {
+		if d < fastest {
 			fastest = d
 		}
 		if d > slowest {
@@ -129,27 +185,32 @@ func (p *shardPool) dispatch(job func(node int)) {
 	p.job = nil
 }
 
-// close releases the worker goroutines. The pool must be idle.
+// close releases the helper goroutines. The pool must be idle.
 func (p *shardPool) close() {
 	close(p.quit)
 }
 
-// SetWorkers shards node advancement across w persistent worker
-// goroutines. w <= 0 selects GOMAXPROCS; w is clamped to the node
-// count; w == 1 (or a single-node cluster) restores plain serial
-// stepping. The shard assignment is fixed for the life of the pool.
+// SetWorkers spreads node advancement — and, when node-local
+// controllers are attached (AddNodeController), the per-node control
+// phase — across w-way chunked work-stealing: the stepping goroutine
+// plus w-1 persistent helpers claim contiguous chunks of node indices
+// from an atomic counter until each sweep drains. w <= 0 selects
+// GOMAXPROCS; w is clamped to the node count; w == 1 (or a single-node
+// cluster) restores plain serial stepping.
 //
-// Within a step the nodes are fully independent — controllers, barrier
-// release and rack coupling all run in the serial phase after the
-// worker barrier — so traces, sensor readings and RunProgram results
-// are byte-identical to serial execution for every worker count.
+// Within a step the parallel phases touch only per-node state —
+// cross-node work (barrier release, rack coupling, fault-plane replay,
+// global controllers) runs in the serial sub-phases between them — so
+// traces, sensor readings and RunProgram results are byte-identical to
+// serial execution for every worker count.
 //
 // One contract follows from parallel advancement: a workload.Generator
 // attached to more than one node (Cluster.RunGenerator does this) must
 // be stateless, as the built-in Constant/Step/Ramp/Jitter generators
 // are. A generator with internal state (e.g. CPUBurn with a noise
 // stream) shared across nodes would be stepped concurrently; give each
-// node its own instance instead.
+// node its own instance instead. The same locality contract applies to
+// controllers attached with AddNodeController.
 func (c *Cluster) SetWorkers(w int) {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
@@ -185,8 +246,8 @@ func (c *Cluster) Close() {
 }
 
 // advanceNodes runs job(i) for every node index: on the worker pool
-// when one is configured, serially otherwise. It is the only entry
-// point to the parallel phase; everything after it in a step is
+// when one is configured, serially otherwise. It is the entry point to
+// the parallel sub-phases of a step; the code between dispatches is
 // single-threaded.
 func (c *Cluster) advanceNodes(job func(node int)) {
 	if c.pool == nil {

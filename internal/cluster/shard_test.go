@@ -1,0 +1,258 @@
+package cluster
+
+import (
+	"math"
+	"runtime"
+	"testing"
+	"time"
+
+	"thermctl/internal/cpu"
+	"thermctl/internal/metrics"
+	"thermctl/internal/node"
+	"thermctl/internal/workload"
+)
+
+// forceProcs raises GOMAXPROCS for the duration of the test so the
+// worker pool's goroutine path runs even on a single-CPU host
+// (shardPool.dispatch steps inline when GOMAXPROCS is 1, which would
+// leave the helper goroutines, channels and the claim counter
+// untested).
+func forceProcs(t *testing.T, n int) {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(n)
+	t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+}
+
+// TestRepeatedSetWorkersInstrumented reconfigures the pool several
+// times on an instrumented cluster — each SetWorkers must tear down the
+// old helper goroutines, build a pool wired to the existing metric
+// handles, and keep the workers gauge truthful. Runs under -race in CI,
+// which is the point: pool teardown racing helper goroutines would be
+// caught here.
+func TestRepeatedSetWorkersInstrumented(t *testing.T) {
+	forceProcs(t, 4)
+	c, err := New(8, DefaultDt, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	reg := metrics.NewRegistry()
+	c.InstrumentMetrics(reg)
+	for _, n := range c.Nodes {
+		n.SetGenerator(workload.Constant(0.5))
+	}
+
+	wantShardObs := 0
+	steps := 0
+	for _, w := range []int{2, 4, 3, 4, 2} {
+		c.SetWorkers(w)
+		for i := 0; i < 3; i++ {
+			c.Step()
+		}
+		steps += 3
+		wantShardObs += 3 * w // every participant reports once per dispatch
+		snap := reg.Snapshot()
+		for _, s := range snap {
+			switch s.Name {
+			case "thermctl_cluster_workers":
+				if s.Value != float64(w) {
+					t.Fatalf("workers gauge = %v after SetWorkers(%d)", s.Value, w)
+				}
+			case "thermctl_cluster_shard_seconds":
+				if s.Count != uint64(wantShardObs) {
+					t.Fatalf("shard_seconds count = %d after %d steps, want %d", s.Count, steps, wantShardObs)
+				}
+			}
+		}
+	}
+}
+
+// TestCloseThenStepSerialFallback: Close mid-run must leave the cluster
+// usable — subsequent Steps fall back to the serial loop and produce
+// the bit-exact trajectory a never-parallel cluster produces.
+func TestCloseThenStepSerialFallback(t *testing.T) {
+	forceProcs(t, 4)
+	run := func(parallelFirst bool) []float64 {
+		c, err := New(6, DefaultDt, 77)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		c.Settle(0)
+		for _, n := range c.Nodes {
+			n.SetGenerator(workload.Constant(0.7))
+		}
+		if parallelFirst {
+			c.SetWorkers(3)
+		}
+		for i := 0; i < 10; i++ {
+			c.Step()
+		}
+		if parallelFirst {
+			c.Close()
+			if c.Workers() != 1 {
+				t.Fatalf("Workers() = %d after Close", c.Workers())
+			}
+		}
+		for i := 0; i < 10; i++ {
+			c.Step()
+		}
+		var out []float64
+		for _, n := range c.Nodes {
+			out = append(out, n.TrueDieC(), n.Sensor.Read(), n.Meter.EnergyJ())
+		}
+		return out
+	}
+	want := run(false)
+	got := run(true)
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("observable %d = %v after Close fallback, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestSetWorkersClampsToNodeCount: asking for more workers than nodes
+// must clamp (a worker with no possible work is pure overhead), and the
+// clamped pool must still step correctly.
+func TestSetWorkersClampsToNodeCount(t *testing.T) {
+	forceProcs(t, 4)
+	c, err := New(3, DefaultDt, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetWorkers(64)
+	if c.Workers() != 3 {
+		t.Fatalf("Workers() = %d after SetWorkers(64) on 3 nodes, want 3", c.Workers())
+	}
+	for _, n := range c.Nodes {
+		n.SetGenerator(workload.Constant(0.4))
+	}
+	for i := 0; i < 5; i++ {
+		c.Step()
+	}
+	if c.Clock.Now() != 5*DefaultDt {
+		t.Fatalf("clock at %v after 5 steps", c.Clock.Now())
+	}
+	// Single-node cluster: any request collapses to serial.
+	c1, err := New(1, DefaultDt, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	c1.SetWorkers(8)
+	if c1.Workers() != 1 || c1.pool != nil {
+		t.Fatalf("single-node cluster got workers=%d pool=%v", c1.Workers(), c1.pool != nil)
+	}
+}
+
+// TestControllerPhaseOrder pins the hierarchical execution order within
+// a step: cluster-level controllers attached before the first
+// node-local one run first, then the node-local phase, then
+// cluster-level controllers attached after. Serial stepping, so the
+// node-local phase is also in node order and the whole sequence is
+// deterministic.
+func TestControllerPhaseOrder(t *testing.T) {
+	c, err := New(3, DefaultDt, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var order []string
+	mark := func(s string) Controller {
+		return ControllerFunc(func(time.Duration) { order = append(order, s) })
+	}
+	c.AddController(mark("pre0"))
+	c.AddController(mark("pre1"))
+	for i := range c.Nodes {
+		c.AddNodeController(i, mark("localA"))
+	}
+	c.AddNodeController(1, mark("localB"))
+	c.AddController(mark("post0"))
+	c.Step()
+	want := []string{"pre0", "pre1", "localA", "localA", "localB", "localA", "post0"}
+	if len(order) != len(want) {
+		t.Fatalf("controller sequence %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("controller sequence %v, want %v", order, want)
+		}
+	}
+}
+
+// TestAddNodeControllerOutOfRangePanics pins the contract for a wiring
+// bug: attaching to a node that does not exist is a programming error.
+func TestAddNodeControllerOutOfRangePanics(t *testing.T) {
+	c, err := New(2, DefaultDt, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{-1, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("AddNodeController(%d) on 2 nodes did not panic", i)
+				}
+			}()
+			c.AddNodeController(i, ControllerFunc(func(time.Duration) {}))
+		}()
+	}
+}
+
+// TestRunProgramEmptyFreqTable: maxTime <= 0 derives its bound from the
+// slowest P-state; a node with an empty table must yield an error-shaped
+// RunResult instead of the historical index-out-of-range panic.
+func TestRunProgramEmptyFreqTable(t *testing.T) {
+	// cpu.New rejects empty tables, so reach the degenerate state the
+	// way a misassembled node would present it: a zero-value CPU.
+	c, err := NewWithNodes([]*node.Node{{Name: "empty", CPU: &cpu.CPU{}}}, DefaultDt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := workload.Uniform("p", 2, workload.Iteration{ComputeGC: 1, ComputeUtil: 1})
+	res := c.RunProgram(prog, 0)
+	if res.Err == nil {
+		t.Fatal("RunProgram(maxTime=0) with empty P-state table returned no error")
+	}
+	if res.ExecTime != 0 || res.TimedOut {
+		t.Fatalf("error-shaped result should not report progress: %+v", res)
+	}
+}
+
+// TestSubNanosecondResidualCarried: a compute residual worth less than
+// 1 ns of wall time at the current clock must be retired (rounded up to
+// one 1 ns slice), not silently zeroed. With the historical truncation,
+// a program whose iteration tail always lands below 1 ns loses that
+// work every iteration and finishes early; the carried residual keeps
+// the execution-time accounting within the package's sub-step accuracy
+// claim.
+func TestSubNanosecondResidualCarried(t *testing.T) {
+	c, err := New(1, DefaultDt, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Settle(0)
+	// Barrier/done phases must retire nothing, so total retired work
+	// isolates the compute phase exactly.
+	c.WaitUtil = 0
+	n := c.Nodes[0]
+	freq := n.CPU.FreqGHz() // GHz = GC per second
+
+	// One iteration whose compute lasts an exact whole number of steps
+	// plus half a nanosecond of work: the tail slice rounds below 1 ns.
+	wholeSteps := 4.0
+	tail := freq * 0.5e-9 // GC retired in half a nanosecond
+	work := freq*wholeSteps*DefaultDt.Seconds() + tail
+	prog := workload.Program{Name: "subns", Iters: []workload.Iteration{
+		{ComputeGC: work, ComputeUtil: 1},
+	}}
+	res := c.RunProgram(prog, time.Minute)
+	if res.Err != nil || res.TimedOut {
+		t.Fatalf("run failed: %+v", res)
+	}
+	retired := n.CPU.Work()
+	if retired < work {
+		t.Errorf("retired %.12f GC of %.12f — sub-ns residual dropped", retired, work)
+	}
+}

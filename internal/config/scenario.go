@@ -396,7 +396,7 @@ func (s Scenario) Build() (*Rig, error) {
 		rig.Plane = plane
 	}
 
-	for _, n := range c.Nodes {
+	for i, n := range c.Nodes {
 		opt := NodeOptions{Registry: rig.Registry}
 		if rig.Registry != nil {
 			opt.Labels = append(opt.Labels, metrics.L("node", n.Name))
@@ -415,8 +415,10 @@ func (s Scenario) Build() (*Rig, error) {
 		if err != nil {
 			return nil, err
 		}
+		// BuildNode's controllers observe and actuate only their own
+		// node, so they join the sharded node-local phase.
 		for _, ctl := range nc.Controllers {
-			c.AddController(ctl)
+			c.AddNodeController(i, ctl)
 		}
 		rig.Nodes = append(rig.Nodes, nc)
 	}

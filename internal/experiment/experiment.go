@@ -111,10 +111,10 @@ func (m FanMethod) String() string {
 }
 
 // attachFanControl installs the chosen per-node fan controller on every
-// node of the cluster.
+// node of the cluster, in the node-local (sharded) controller phase.
 func attachFanControl(c *cluster.Cluster, method FanMethod, pp int, maxDuty float64) ([]*core.Controller, error) {
 	var ctls []*core.Controller
-	for _, n := range c.Nodes {
+	for i, n := range c.Nodes {
 		read := core.SysfsTemp(n.FS, n.Hwmon.TempInput)
 		port := &core.SysfsFanPort{FS: n.FS, Chip: n.Hwmon}
 		switch method {
@@ -124,16 +124,16 @@ func attachFanControl(c *cluster.Cluster, method FanMethod, pp int, maxDuty floa
 			if err != nil {
 				return nil, err
 			}
-			c.AddController(ctl)
+			c.AddNodeController(i, ctl)
 			ctls = append(ctls, ctl)
 		case FanStatic:
 			ctl, err := baseline.NewStaticFan(baseline.DefaultStaticFanConfig(maxDuty), read, port)
 			if err != nil {
 				return nil, err
 			}
-			c.AddController(ctl)
+			c.AddNodeController(i, ctl)
 		case FanConstant:
-			c.AddController(baseline.NewConstantFan(maxDuty, port))
+			c.AddNodeController(i, baseline.NewConstantFan(maxDuty, port))
 		case FanNone:
 			// chip automatic mode: nothing to attach
 		}
@@ -144,7 +144,7 @@ func attachFanControl(c *cluster.Cluster, method FanMethod, pp int, maxDuty floa
 // attachTDVFS installs a tDVFS daemon on every node and returns them.
 func attachTDVFS(c *cluster.Cluster, cfg core.TDVFSConfig) ([]*core.TDVFS, error) {
 	var daemons []*core.TDVFS
-	for _, n := range c.Nodes {
+	for i, n := range c.Nodes {
 		act, err := core.NewDVFSActuator(&core.SysfsFreqPort{FS: n.FS, Paths: n.Cpufreq})
 		if err != nil {
 			return nil, err
@@ -153,7 +153,7 @@ func attachTDVFS(c *cluster.Cluster, cfg core.TDVFSConfig) ([]*core.TDVFS, error
 		if err != nil {
 			return nil, err
 		}
-		c.AddController(d)
+		c.AddNodeController(i, d)
 		daemons = append(daemons, d)
 	}
 	return daemons, nil
@@ -164,7 +164,7 @@ func attachTDVFS(c *cluster.Cluster, cfg core.TDVFSConfig) ([]*core.TDVFS, error
 // tDVFS daemon.
 func attachHybrid(c *cluster.Cluster, fanPp int, maxDuty float64, cfg core.TDVFSConfig) ([]*core.Hybrid, error) {
 	var hybrids []*core.Hybrid
-	for _, n := range c.Nodes {
+	for i, n := range c.Nodes {
 		read := core.SysfsTemp(n.FS, n.Hwmon.TempInput)
 		port := &core.SysfsFanPort{FS: n.FS, Chip: n.Hwmon}
 		fan, err := core.NewController(core.DefaultConfig(fanPp), read,
@@ -181,7 +181,7 @@ func attachHybrid(c *cluster.Cluster, fanPp int, maxDuty float64, cfg core.TDVFS
 			return nil, err
 		}
 		h := core.NewHybrid(fan, d)
-		c.AddController(h)
+		c.AddNodeController(i, h)
 		hybrids = append(hybrids, h)
 	}
 	return hybrids, nil
@@ -189,13 +189,13 @@ func attachHybrid(c *cluster.Cluster, fanPp int, maxDuty float64, cfg core.TDVFS
 
 // attachCPUSpeed installs a CPUSPEED daemon on every node.
 func attachCPUSpeed(c *cluster.Cluster) error {
-	for _, n := range c.Nodes {
+	for i, n := range c.Nodes {
 		cs, err := baseline.NewCPUSpeed(baseline.DefaultCPUSpeedConfig(), n.FS,
 			&core.SysfsFreqPort{FS: n.FS, Paths: n.Cpufreq})
 		if err != nil {
 			return err
 		}
-		c.AddController(cs)
+		c.AddNodeController(i, cs)
 	}
 	return nil
 }

@@ -75,7 +75,7 @@ func rackRun(seed uint64, unified bool) ([]RackRow, error) {
 		return nil, err
 	}
 	c.AddController(r)
-	for _, n := range nodes {
+	for i, n := range nodes {
 		if unified {
 			fan, err := core.NewController(core.DefaultConfig(50),
 				core.SysfsTemp(n.FS, n.Hwmon.TempInput),
@@ -93,7 +93,7 @@ func rackRun(seed uint64, unified bool) ([]RackRow, error) {
 			if err != nil {
 				return nil, err
 			}
-			c.AddController(core.NewHybrid(fan, d))
+			c.AddNodeController(i, core.NewHybrid(fan, d))
 		} else {
 			port := &core.SysfsFanPort{FS: n.FS, Chip: n.Hwmon}
 			if err := port.SetDutyPercent(45); err != nil {

@@ -2,7 +2,8 @@
 // loaded lint.Program, and computes synchronous reachability from the
 // control plane's hot roots: every Step/OnStep method (the per-round
 // simulation and controller entry points), every Policy Decide method,
-// and the decision transaction's Txn.Apply* actuation funnel.
+// every RunProgram method (the SPMD execution loop), and the decision
+// transaction's Txn.Apply* actuation funnel.
 //
 // The graph resolves three call shapes:
 //
@@ -111,14 +112,16 @@ func (g *Graph) Node(fn *types.Func) *Node { return g.nodes[fn] }
 func (g *Graph) Roots() []*Node { return g.roots }
 
 // IsRoot reports whether fn is one of the hot roots: a method named
-// Step, OnStep or Decide, or an Apply* method on a type named Txn.
+// Step, OnStep, Decide or RunProgram (the SPMD execution loop is as hot
+// as the open-loop step — its per-round body runs once per simulation
+// step for the whole program), or an Apply* method on a type named Txn.
 func IsRoot(fn *types.Func) bool {
 	sig, ok := fn.Type().(*types.Signature)
 	if !ok || sig.Recv() == nil {
 		return false
 	}
 	switch fn.Name() {
-	case "Step", "OnStep", "Decide":
+	case "Step", "OnStep", "Decide", "RunProgram":
 		return true
 	}
 	if strings.HasPrefix(fn.Name(), "Apply") {

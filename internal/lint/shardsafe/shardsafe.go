@@ -42,14 +42,18 @@ var Analyzer = &lint.Analyzer{
 }
 
 // scopePrefixes are the packages whose code runs inside the cluster's
-// parallel phase: node.Node.Step's full call graph plus the cluster and
-// rack layers that orchestrate it. Controller packages (core, baseline,
-// hotspot) run only in the serial phase and may keep state; offline
-// tooling is out of scope entirely.
+// parallel phase: node.Node.Step's full call graph, the cluster and
+// rack layers that orchestrate it, and — since the hierarchical step
+// loop moved node-local control into the sharded phase
+// (Cluster.AddNodeController) — the controller packages whose policies
+// run per node: the core engine and the baseline daemons it hosts.
+// Offline tooling is out of scope entirely.
 var scopePrefixes = []string{
 	"internal/acpi",
 	"internal/adt7467",
+	"internal/baseline",
 	"internal/cluster",
+	"internal/core",
 	"internal/cpu",
 	"internal/cpufreq",
 	"internal/cstates",

@@ -26,9 +26,11 @@ func TestScope(t *testing.T) {
 		{"thermctl/internal/cluster", true},
 		{"thermctl/internal/rack", true},
 		{"thermctl/internal/workload", true},
-		// Serial-phase controllers and offline tooling may keep state.
-		{"thermctl/internal/core", false},
-		{"thermctl/internal/baseline", false},
+		// Node-local controllers run in the sharded phase since the
+		// hierarchical step loop (Cluster.AddNodeController).
+		{"thermctl/internal/core", true},
+		{"thermctl/internal/baseline", true},
+		// Orchestration and offline tooling may keep state.
 		{"thermctl/internal/experiment", false},
 		{"thermctl/internal/ipmi", false},
 		{"thermctl/internal/trace", false},

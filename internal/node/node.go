@@ -72,6 +72,16 @@ type Config struct {
 	ProtectC float64
 	// ProtectHystC is the release hysteresis (default 5 degC).
 	ProtectHystC float64
+	// ThermalState, when non-nil, is caller-provided backing storage
+	// for this node's thermal integrator state. The cluster passes a
+	// slot of one contiguous slice covering all its nodes
+	// (struct-of-arrays) so the hot step sweep walks dense memory; nil
+	// lets the node own its state. Reset to ambient by New.
+	ThermalState *thermal.State
+	// Meter, when non-nil, is the node's power accumulator, likewise a
+	// cluster-provided contiguous slot. Nil allocates a private meter.
+	// Reset by New.
+	Meter *power.Meter
 }
 
 // DefaultConfig returns the paper's node: Athlon64 4000+, 4300 RPM fan,
@@ -170,12 +180,17 @@ func New(cfg Config) (*Node, error) {
 	cfg.Thermal.AmbientC += cfg.AmbientOffsetC
 
 	seedSrc := rng.New(cfg.Seed)
+	meter := cfg.Meter
+	if meter == nil {
+		meter = &power.Meter{}
+	}
+	meter.Reset()
 	n := &Node{
 		Name:    cfg.Name,
 		CPU:     cpu.New(cfg.CPU),
 		Fan:     fan.New(cfg.Fan, cfg.InitialDuty),
-		Thermal: thermal.New(cfg.Thermal),
-		Meter:   &power.Meter{},
+		Thermal: thermal.NewAt(cfg.Thermal, cfg.ThermalState),
+		Meter:   meter,
 	}
 	n.Sensor = sensor.New(cfg.Sensor, sensor.SourceFunc(n.Thermal.DieC), seedSrc.Split())
 	// Noise is keyed to the step counter: every consumer of the sensor

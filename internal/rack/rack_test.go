@@ -146,7 +146,7 @@ func TestUnifiedControlCompensatesHotSlot(t *testing.T) {
 			t.Fatal(err)
 		}
 		c.AddController(r)
-		for _, n := range nodes {
+		for i, n := range nodes {
 			if dynamic {
 				ctl, err := core.NewController(core.DefaultConfig(50),
 					core.SysfsTemp(n.FS, n.Hwmon.TempInput),
@@ -155,7 +155,7 @@ func TestUnifiedControlCompensatesHotSlot(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				c.AddController(ctl)
+				c.AddNodeController(i, ctl)
 			} else {
 				// Equal fixed duty on every slot: the gradient hits
 				// the dies one to one.

@@ -57,17 +57,47 @@ func Default() Config {
 	}
 }
 
-// Network is one instance of the two-node RC model.
+// State is the mutable integrator state of one network: the two node
+// temperatures, °C. It is split from Network so a fleet owner can lay
+// many networks' states out as one contiguous slice (struct-of-arrays)
+// while each Network keeps its configuration and methods — see NewAt.
+// All access goes through the owning Network.
+type State struct {
+	DieC  float64
+	SinkC float64
+}
+
+// Network is one instance of the two-node RC model. Its integrator
+// state lives behind st: either the embedded own field (New) or an
+// external slot supplied by the caller (NewAt).
 type Network struct {
-	cfg   Config
-	tDie  float64
-	tSink float64
+	cfg Config
+	st  *State
+	own State
 }
 
 // New returns a network equilibrated to zero power: both nodes start at
 // ambient. Callers typically Settle() it against idle power first.
 func New(cfg Config) *Network {
-	return &Network{cfg: cfg, tDie: cfg.AmbientC, tSink: cfg.AmbientC}
+	n := &Network{cfg: cfg}
+	n.st = &n.own
+	n.st.DieC = cfg.AmbientC
+	n.st.SinkC = cfg.AmbientC
+	return n
+}
+
+// NewAt is New with caller-provided backing storage for the integrator
+// state: the cluster allocates one contiguous []State for all nodes so
+// the parallel step sweep walks dense memory instead of chasing
+// per-node heap islands. st is reset to ambient. A nil st falls back to
+// New.
+func NewAt(cfg Config, st *State) *Network {
+	if st == nil {
+		return New(cfg)
+	}
+	st.DieC = cfg.AmbientC
+	st.SinkC = cfg.AmbientC
+	return &Network{cfg: cfg, st: st}
 }
 
 // RsaKPerW returns the sink-to-ambient resistance at the given
@@ -103,10 +133,10 @@ func (n *Network) Step(dt time.Duration, powerW, airflow float64) {
 		if h > maxH {
 			h = maxH
 		}
-		qJS := (n.tDie - n.tSink) / n.cfg.RjsKPerW
-		qSA := (n.tSink - n.cfg.AmbientC) / rsa
-		n.tDie += h * (powerW - qJS) / n.cfg.CdieJPerK
-		n.tSink += h * (qJS - qSA) / n.cfg.CsinkJPerK
+		qJS := (n.st.DieC - n.st.SinkC) / n.cfg.RjsKPerW
+		qSA := (n.st.SinkC - n.cfg.AmbientC) / rsa
+		n.st.DieC += h * (powerW - qJS) / n.cfg.CdieJPerK
+		n.st.SinkC += h * (qJS - qSA) / n.cfg.CsinkJPerK
 		remaining -= h
 	}
 }
@@ -115,15 +145,15 @@ func (n *Network) Step(dt time.Duration, powerW, airflow float64) {
 // airflow, used to initialize simulations at thermal equilibrium.
 func (n *Network) Settle(powerW, airflow float64) {
 	rsa := n.RsaKPerW(airflow)
-	n.tSink = n.cfg.AmbientC + powerW*rsa
-	n.tDie = n.tSink + powerW*n.cfg.RjsKPerW
+	n.st.SinkC = n.cfg.AmbientC + powerW*rsa
+	n.st.DieC = n.st.SinkC + powerW*n.cfg.RjsKPerW
 }
 
 // DieC returns the die temperature, °C — what the on-die sensor measures.
-func (n *Network) DieC() float64 { return n.tDie }
+func (n *Network) DieC() float64 { return n.st.DieC }
 
 // SinkC returns the heatsink temperature, °C.
-func (n *Network) SinkC() float64 { return n.tSink }
+func (n *Network) SinkC() float64 { return n.st.SinkC }
 
 // AmbientC returns the inlet air temperature.
 func (n *Network) AmbientC() float64 { return n.cfg.AmbientC }

@@ -7,11 +7,15 @@
 #	./scripts/bench.sh            # full run (default -benchtime)
 #	BENCHTIME=1x ./scripts/bench.sh   # one iteration per benchmark (CI smoke)
 #	OUT=/dev/stdout ./scripts/bench.sh
+#	FLEET=1 ./scripts/bench.sh    # extend ClusterStep to 1k/10k/100k nodes
 #
 # The suite is BenchmarkClusterStep / BenchmarkEngineStep /
 # BenchmarkClusterStepMetrics / BenchmarkClusterStepFaults /
 # BenchmarkClusterStepRack / BenchmarkClusterRunProgram in
-# internal/cluster: 4/64/256 nodes crossed with 1/4/GOMAXPROCS workers.
+# internal/cluster: 4/64/256 nodes crossed with 1/4/GOMAXPROCS workers;
+# with FLEET=1 the ClusterStep matrix extends to 1k/10k/100k nodes
+# (make bench sets it — fleet shapes cost seconds of setup each, so the
+# CI smoke run keeps the small matrix).
 # Parallel stepping is byte-identical to serial, so the sweep measures
 # wall-clock only; the JSON's "speedups" section reports
 # serial-over-parallel per (benchmark, nodes) group, the
@@ -33,8 +37,18 @@ BENCHTIME="${BENCHTIME:-1s}"
 COUNT="${COUNT:-3}"
 OUT="${OUT:-BENCH_cluster.json}"
 WITHIN="${WITHIN:-25}"
+# The parallel-beats-serial gate: speedup_vs_serial must not fall below
+# 1 - PSLACK% at or above PMINNODES nodes. 10% slack absorbs run-to-run
+# noise at smoke benchtimes (the committed trajectory is gated tighter
+# in CI, see .github/workflows/ci.yml).
+PMINNODES="${PMINNODES:-64}"
+PSLACK="${PSLACK:-10}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
+
+if [ -n "${FLEET:-}" ]; then
+	export THERMCTL_BENCH_FLEET=1
+fi
 
 # -count repeats every benchmark; benchjson keeps the fastest run of
 # each (best-of-N), which is what makes the recorded overhead deltas
@@ -48,3 +62,6 @@ echo "==> wrote $OUT" >&2
 
 echo "==> benchjson -within ClusterStep EngineStep -tolerance $WITHIN $OUT" >&2
 go run ./cmd/benchjson -within ClusterStep EngineStep -tolerance "$WITHIN" "$OUT"
+
+echo "==> benchjson -parallel ClusterStep -min-nodes $PMINNODES -slack $PSLACK $OUT" >&2
+go run ./cmd/benchjson -parallel ClusterStep -min-nodes "$PMINNODES" -slack "$PSLACK" "$OUT"

@@ -9,6 +9,7 @@
 //	           [-dvfs none|tdvfs|cpuspeed] [-sleep none|ctlarray] [-pp 50]
 //	           [-max-duty 50] [-seed N] [-workers GOMAXPROCS]
 //	           [-listen 127.0.0.1:9090] [-chaos-seed N] [-scenario run.json]
+//	           [-trace run.tct]
 //
 // The flags are shorthand for a scenario document (see internal/config):
 // -scenario loads the same description from JSON and takes precedence
@@ -32,6 +33,12 @@
 // retry and fail-safe degradation. The fault timeline is printed after
 // the run; the same seed yields a byte-identical campaign for any
 // worker count.
+//
+// With -trace, every node's temperature, fan duty, frequency and power
+// are streamed once per simulated second to a binary .tct trace file
+// (internal/tracefile, DESIGN.md §12) sized for campaigns longer than
+// RAM. Inspect, slice and compare the file with cmd/thermtrace; the
+// bytes are identical for any -workers value.
 package main
 
 import (
@@ -39,10 +46,17 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"time"
 
 	"thermctl/internal/config"
 	"thermctl/internal/metrics"
 )
+
+// traceEvery is the -trace sampling cadence. One simulated second
+// keeps the writer's share of the step budget within the 5% bench gate
+// (BenchmarkClusterStepTrace) while still resolving every controller
+// decision window (the fastest loop reconsiders at 1 s).
+const traceEvery = time.Second
 
 func main() {
 	s := config.DefaultScenario()
@@ -60,6 +74,7 @@ func main() {
 	listen := flag.String("listen", "", "optional HTTP address for /metrics and /debug/pprof")
 	flag.Uint64Var(&s.Chaos.Seed, "chaos-seed", 0,
 		"generate and replay a deterministic fault campaign with this seed (0 = no faults)")
+	tracePath := flag.String("trace", "", "record per-node series to this binary trace file (inspect with thermtrace)")
 	flag.Parse()
 
 	if *scenarioPath != "" {
@@ -107,10 +122,37 @@ func main() {
 		fmt.Printf("clustersim: metrics and pprof on http://%s/metrics\n", srv.Addr())
 	}
 
+	closeTrace := func() {}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		tw, err := config.AttachTraceProbe(c, f, traceEvery)
+		if err != nil {
+			fatal(err)
+		}
+		closeTrace = func() {
+			if err := tw.Close(); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			st, err := os.Stat(*tracePath)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("\ntrace: %s (%d bytes); inspect with `go run ./cmd/thermtrace info %s`\n",
+				*tracePath, st.Size(), *tracePath)
+		}
+	}
+
 	fmt.Printf("clustersim: %s on %d nodes (%d workers), fan=%s dvfs=%s sleep=%s Pp=%d max-duty=%.0f%%\n",
 		*rig.Program, s.Nodes, c.Workers(), s.Control.Fan, s.Control.DVFS, s.Control.Sleep,
 		s.Control.Tuning.Pp, s.Control.Tuning.MaxFanDuty)
 	res := c.RunProgram(*rig.Program, 0)
+	closeTrace()
 	if res.TimedOut {
 		fmt.Println("WARNING: run hit the simulation time limit")
 	}

@@ -9,7 +9,7 @@
 //	          [-fan dynamic|static|constant|auto] [-dvfs none|tdvfs|cpuspeed]
 //	          [-sleep none|ctlarray] [-ipmi 127.0.0.1:9623] [-seed 1]
 //	          [-config thermctl.json] [-scenario run.json]
-//	          [-listen 127.0.0.1:9090] [-faults plan.json]
+//	          [-listen 127.0.0.1:9090] [-faults plan.json] [-trace run.tct]
 //
 // A JSON config file (see internal/config) overrides the flag defaults:
 //
@@ -45,6 +45,12 @@
 // and the standard pprof profiling endpoints under /debug/pprof/:
 //
 //	curl http://127.0.0.1:9090/metrics
+//
+// With -trace, the node's temperature, fan duty, frequency and power
+// are streamed every control step to a binary .tct trace file
+// (internal/tracefile, DESIGN.md §12); slice and diff it afterwards
+// with cmd/thermtrace. The writer is bounded-memory, so a multi-day
+// -duration records fine.
 package main
 
 import (
@@ -60,6 +66,7 @@ import (
 	"thermctl/internal/ipmi"
 	"thermctl/internal/metrics"
 	"thermctl/internal/rng"
+	"thermctl/internal/tracefile"
 )
 
 // rng stream indices for the daemon's fault-plane draws, disjoint from
@@ -89,6 +96,7 @@ type options struct {
 	dvfs     string
 	sleep    string
 	faults   string
+	trace    string
 
 	// stop, when non-nil, ends the run early from another goroutine.
 	stop <-chan struct{}
@@ -114,6 +122,7 @@ func main() {
 	flag.StringVar(&o.cfgPath, "config", "", "JSON configuration file; overrides -pp/-max-duty")
 	flag.StringVar(&o.scenario, "scenario", "", "JSON scenario file; its control section overrides the technique and tuning flags")
 	flag.StringVar(&o.faults, "faults", "", "JSON fault plan replayed against this node's devices (resilience drill)")
+	flag.StringVar(&o.trace, "trace", "", "record the node's series to this binary trace file (inspect with thermtrace)")
 	flag.Parse()
 
 	if err := run(o, os.Stdout); err != nil {
@@ -220,6 +229,31 @@ func run(o options, out io.Writer) error {
 	steps := reg.NewCounter("thermctl_daemon_steps_total",
 		"daemon control-loop steps executed")
 
+	// Optional binary trace of the run, one record set per control
+	// step. The schema matches a one-node cluster trace, so the same
+	// thermtrace invocations work on daemon and clustersim output.
+	var tw *tracefile.Writer
+	if o.trace != "" {
+		f, err := os.Create(o.trace)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if tw, err = tracefile.NewWriter(f, config.ClusterTraceSchema(1), nil); err != nil {
+			return err
+		}
+	}
+	closeTrace := func() error {
+		if tw == nil {
+			return nil
+		}
+		if err := tw.Close(); err != nil {
+			return fmt.Errorf("writing trace %s: %w", o.trace, err)
+		}
+		fmt.Fprintf(out, "trace: %s; inspect with `go run ./cmd/thermtrace info %s`\n", o.trace, o.trace)
+		return nil
+	}
+
 	if o.listen != "" {
 		srv, err := metrics.Serve(o.listen, reg)
 		if err != nil {
@@ -255,7 +289,7 @@ func run(o options, out io.Writer) error {
 			select {
 			case <-o.stop:
 				fmt.Fprintf(out, "\nstopped at %s\n", n.Elapsed().Truncate(time.Second))
-				return nil
+				return closeTrace()
 			default:
 			}
 		}
@@ -272,6 +306,13 @@ func run(o options, out io.Writer) error {
 		}
 		stepSeconds.ObserveSince(begin)
 		steps.Inc()
+		if tw != nil {
+			now := n.Elapsed()
+			tw.Append(0, now, n.Sensor.Read())
+			tw.Append(1, now, n.Fan.Duty())
+			tw.Append(2, now, n.CPU.FreqGHz())
+			tw.Append(3, now, n.Power().Total())
+		}
 		if n.Elapsed() >= next {
 			next += o.every
 			engaged := "-"
@@ -293,6 +334,9 @@ func run(o options, out io.Writer) error {
 				}
 			}
 		}
+	}
+	if err := closeTrace(); err != nil {
+		return err
 	}
 	fmt.Fprintf(out, "\nfinal: die %.2f degC, duty %.1f%%, %.1f GHz; avg power %.2f W; %d freq transitions\n",
 		n.TrueDieC(), n.Fan.Duty(), n.CPU.FreqGHz(), n.Meter.AverageW(), n.CPU.Transitions())

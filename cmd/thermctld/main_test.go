@@ -4,10 +4,13 @@ import (
 	"bytes"
 	"io"
 	"net/http"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
 	"time"
+
+	"thermctl/internal/tracefile"
 )
 
 // scrape fetches the /metrics endpoint and returns the body.
@@ -144,5 +147,36 @@ func TestRunCompletes(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "final: die") {
 		t.Errorf("missing final report in output:\n%s", out.String())
+	}
+}
+
+// TestRunWritesTrace checks the -trace wiring end to end: the daemon
+// records a complete, readable .tct file whose sample count matches
+// the step count.
+func TestRunWritesTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.tct")
+	var out bytes.Buffer
+	o := options{pp: 50, maxDuty: 50, duration: 10 * time.Second, seed: 1,
+		every: time.Minute, trace: path}
+	if err := run(o, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "trace: "+path) {
+		t.Errorf("missing trace report in output:\n%s", out.String())
+	}
+	r, closer, err := tracefile.OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer.Close()
+	if err := r.Incomplete(); err != nil {
+		t.Fatalf("Incomplete: %v", err)
+	}
+	// 10s at 250ms steps = 40 step records of 4 series each.
+	if ns, _ := r.Counts(); ns != 160 {
+		t.Fatalf("trace holds %d samples, want 160", ns)
+	}
+	if got := r.Schema()[0].Name; got != "n0_temp" {
+		t.Fatalf("first series = %q", got)
 	}
 }

@@ -2,8 +2,9 @@ package baseline_test
 
 // Golden step-trace equivalence harness for the baseline controllers,
 // recorded from the pre-engine implementations; the engine-hosted
-// policies must reproduce these traces byte for byte. See
-// internal/core/golden_test.go for the contract and the -update flow.
+// policies must reproduce these traces byte for byte. The goldens are
+// event-only .tct images compared via the tracefile Diff primitives;
+// see internal/core/golden_test.go for the contract and -update flow.
 
 import (
 	"errors"
@@ -12,12 +13,12 @@ import (
 	"math"
 	"os"
 	"path/filepath"
-	"strings"
 	"testing"
 	"time"
 
 	"thermctl/internal/baseline"
 	"thermctl/internal/hwmon"
+	"thermctl/internal/tracefile"
 )
 
 var update = flag.Bool("update", false, "rewrite golden trace files")
@@ -32,42 +33,27 @@ func (tr *trace) addf(format string, args ...any) {
 
 func checkGolden(t *testing.T, name string, tr *trace) {
 	t.Helper()
-	path := filepath.Join("testdata", "golden", name+".trace")
-	got := strings.Join(tr.lines, "\n") + "\n"
+	path := filepath.Join("testdata", "golden", name+".tct")
 	if *update {
+		img, err := tracefile.EncodeEvents(tr.lines)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 			t.Fatal(err)
 		}
-		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+		if err := os.WriteFile(path, img, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		t.Logf("wrote %s (%d lines)", path, len(tr.lines))
+		t.Logf("wrote %s (%d lines, %d bytes)", path, len(tr.lines), len(img))
 		return
 	}
 	want, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatalf("missing golden (run with -update to record): %v", err)
 	}
-	if string(want) != got {
-		wantLines := strings.Split(string(want), "\n")
-		gotLines := strings.Split(got, "\n")
-		n := len(wantLines)
-		if len(gotLines) > n {
-			n = len(gotLines)
-		}
-		for i := 0; i < n; i++ {
-			var w, g string
-			if i < len(wantLines) {
-				w = wantLines[i]
-			}
-			if i < len(gotLines) {
-				g = gotLines[i]
-			}
-			if w != g {
-				t.Fatalf("%s: first divergence at line %d:\n  golden: %q\n  got:    %q",
-					name, i+1, w, g)
-			}
-		}
+	if err := tracefile.DiffEventLines(want, tr.lines); err != nil {
+		t.Fatalf("%s: %v", name, err)
 	}
 }
 

@@ -14,13 +14,13 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
-	"strings"
 	"testing"
 	"time"
 
 	"thermctl/internal/cluster"
 	"thermctl/internal/core"
 	"thermctl/internal/faults"
+	"thermctl/internal/tracefile"
 	"thermctl/internal/workload"
 )
 
@@ -42,8 +42,8 @@ func goldenWorkerCounts() []int {
 }
 
 // hybridClusterTrace runs the scenario at the given worker count and
-// returns the observable trace.
-func hybridClusterTrace(t *testing.T, workers int) string {
+// returns the observable trace, one line per record.
+func hybridClusterTrace(t *testing.T, workers int) []string {
 	t.Helper()
 	const (
 		seed      = 20100131
@@ -95,7 +95,7 @@ func hybridClusterTrace(t *testing.T, workers int) string {
 		dvfss = append(dvfss, dvfs)
 	}
 
-	var b strings.Builder
+	var lines []string
 	steps := int(horizon / cluster.DefaultDt)
 	for _, n := range c.Nodes {
 		n.SetGenerator(workload.Constant(0.85))
@@ -106,21 +106,21 @@ func hybridClusterTrace(t *testing.T, workers int) string {
 			continue
 		}
 		for i, n := range c.Nodes {
-			fmt.Fprintf(&b, "step=%04d node=%s temp=%.6f duty=%.6f ghz=%.6f fan[idx=%d moves=%d errs=%d fs=%v] dvfs[mode=%d errs=%d fs=%v]\n",
+			lines = append(lines, fmt.Sprintf("step=%04d node=%s temp=%.6f duty=%.6f ghz=%.6f fan[idx=%d moves=%d errs=%d fs=%v] dvfs[mode=%d errs=%d fs=%v]",
 				s, n.Name, n.Sensor.Read(), n.Fan.Duty(), n.CPU.FreqGHz(),
 				fans[i].Index(0), fans[i].Moves(0), fans[i].Errors(), fans[i].FailSafe(),
-				dvfss[i].CurrentMode(), dvfss[i].Errors(), dvfss[i].FailSafe())
+				dvfss[i].CurrentMode(), dvfss[i].Errors(), dvfss[i].FailSafe()))
 		}
 	}
 	for i := range fans {
 		for _, ev := range fans[i].FailSafeEvents() {
-			fmt.Fprintf(&b, "event node=%d fan at=%s engaged=%v\n", i, ev.At, ev.Engaged)
+			lines = append(lines, fmt.Sprintf("event node=%d fan at=%s engaged=%v", i, ev.At, ev.Engaged))
 		}
 		for _, ev := range dvfss[i].FailSafeEvents() {
-			fmt.Fprintf(&b, "event node=%d dvfs at=%s engaged=%v\n", i, ev.At, ev.Engaged)
+			lines = append(lines, fmt.Sprintf("event node=%d dvfs at=%s engaged=%v", i, ev.At, ev.Engaged))
 		}
 	}
-	return b.String()
+	return lines
 }
 
 func TestGoldenHybridCluster(t *testing.T) {
@@ -129,23 +129,27 @@ func TestGoldenHybridCluster(t *testing.T) {
 	// would make the multi-worker comparisons vacuous).
 	prev := runtime.GOMAXPROCS(4)
 	defer runtime.GOMAXPROCS(prev)
-	path := filepath.Join("testdata", "golden", "hybrid-cluster.trace")
+	path := filepath.Join("testdata", "golden", "hybrid-cluster.tct")
 	ref := hybridClusterTrace(t, 1)
 	if *update {
+		img, err := tracefile.EncodeEvents(ref)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 			t.Fatal(err)
 		}
-		if err := os.WriteFile(path, []byte(ref), 0o644); err != nil {
+		if err := os.WriteFile(path, img, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		t.Logf("wrote %s", path)
+		t.Logf("wrote %s (%d lines, %d bytes)", path, len(ref), len(img))
 	} else {
 		want, err := os.ReadFile(path)
 		if err != nil {
 			t.Fatalf("missing golden (run with -update to record): %v", err)
 		}
-		if string(want) != ref {
-			diffFatal(t, "workers=1 vs golden", string(want), ref)
+		if err := tracefile.DiffEventLines(want, ref); err != nil {
+			t.Fatalf("workers=1 vs golden: %v", err)
 		}
 	}
 	for _, w := range goldenWorkerCounts() {
@@ -153,31 +157,26 @@ func TestGoldenHybridCluster(t *testing.T) {
 			continue
 		}
 		got := hybridClusterTrace(t, w)
-		if got != ref {
-			diffFatal(t, fmt.Sprintf("workers=%d vs workers=1", w), ref, got)
-		}
+		diffFatal(t, fmt.Sprintf("workers=%d vs workers=1", w), ref, got)
 	}
 }
 
-func diffFatal(t *testing.T, what, want, got string) {
+func diffFatal(t *testing.T, what string, want, got []string) {
 	t.Helper()
-	wantLines := strings.Split(want, "\n")
-	gotLines := strings.Split(got, "\n")
-	n := len(wantLines)
-	if len(gotLines) > n {
-		n = len(gotLines)
+	n := len(want)
+	if len(got) > n {
+		n = len(got)
 	}
 	for i := 0; i < n; i++ {
 		var w, g string
-		if i < len(wantLines) {
-			w = wantLines[i]
+		if i < len(want) {
+			w = want[i]
 		}
-		if i < len(gotLines) {
-			g = gotLines[i]
+		if i < len(got) {
+			g = got[i]
 		}
 		if w != g {
 			t.Fatalf("%s: first divergence at line %d:\n  want: %q\n  got:  %q", what, i+1, w, g)
 		}
 	}
-	t.Fatalf("%s: traces differ", what)
 }

@@ -1,0 +1,88 @@
+package config
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"thermctl/internal/cluster"
+	"thermctl/internal/tracefile"
+)
+
+// Per-node observables recorded by the trace probe, in series-index
+// order within each node's block.
+const (
+	traceTemp = iota
+	traceDuty
+	traceFreq
+	tracePower
+	traceSeriesPerNode
+)
+
+// ClusterTraceSchema declares the trace-file series of an n-node
+// cluster: temp/duty/freq/power per node, named exactly like the
+// in-memory experiment probes ("n3_temp"), with the physical units the
+// unitsafe analyzer tracks in code.
+func ClusterTraceSchema(n int) []tracefile.SeriesDef {
+	defs := make([]tracefile.SeriesDef, 0, n*traceSeriesPerNode)
+	for i := 0; i < n; i++ {
+		prefix := fmt.Sprintf("n%d_", i)
+		defs = append(defs,
+			tracefile.SeriesDef{Name: prefix + "temp", Unit: "degC"},
+			tracefile.SeriesDef{Name: prefix + "duty", Unit: "percent"},
+			tracefile.SeriesDef{Name: prefix + "freq", Unit: "GHz"},
+			tracefile.SeriesDef{Name: prefix + "power", Unit: "W"},
+		)
+	}
+	return defs
+}
+
+// TraceProbe streams per-node observables to a tracefile.Writer on a
+// fixed schedule. It runs as a cluster-level controller in the serial
+// phase, which both serializes access to the writer and keeps the byte
+// stream identical at every worker count — the same discipline the
+// fault plane and experiment probes follow. Appends are allocation-free
+// (Writer.Append is a hotalloc root), so tracing rides the step path
+// within the bench gate.
+type TraceProbe struct {
+	c     *cluster.Cluster
+	w     *tracefile.Writer
+	every time.Duration
+	next  time.Duration
+}
+
+// AttachTraceProbe writes the schema header for the cluster to dst and
+// registers a probe sampling every interval. Close the returned writer
+// after the run to flush chunks and the index footer; the first
+// append/write error surfaces there.
+//
+// The step-path probe writes raw (uncompressed) chunks: on a
+// single-core host the flusher's flate pass cannot overlap the step
+// loop, and its cost alone breaches the 5% trace-overhead gate —
+// while the delta+varint encoding already carries most of the size
+// win. Offline writers (golden images) keep compression on.
+func AttachTraceProbe(c *cluster.Cluster, dst io.Writer, every time.Duration) (*tracefile.Writer, error) {
+	w, err := tracefile.NewWriter(dst, ClusterTraceSchema(len(c.Nodes)),
+		&tracefile.Options{NoCompress: true})
+	if err != nil {
+		return nil, err
+	}
+	p := &TraceProbe{c: c, w: w, every: every}
+	c.AddController(p)
+	return w, nil
+}
+
+// OnStep implements cluster.Controller.
+func (p *TraceProbe) OnStep(now time.Duration) {
+	if now < p.next {
+		return
+	}
+	p.next += p.every
+	for i, n := range p.c.Nodes {
+		base := i * traceSeriesPerNode
+		p.w.Append(base+traceTemp, now, n.Sensor.Read())
+		p.w.Append(base+traceDuty, now, n.Fan.Duty())
+		p.w.Append(base+traceFreq, now, n.CPU.FreqGHz())
+		p.w.Append(base+tracePower, now, n.Power().Total())
+	}
+}

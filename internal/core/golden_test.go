@@ -9,6 +9,12 @@ package core_test
 // engine-hosted policies must reproduce them byte for byte, which is the
 // behavior-preservation contract of the control-plane refactor.
 //
+// The goldens are stored as event-only .tct trace images (one event per
+// trace line, t = line ordinal; see internal/tracefile) and compared
+// with the same Diff primitives cmd/thermtrace uses, so every go test
+// run also exercises the binary writer, reader and differ end to end.
+// Inspect a golden with `go run ./cmd/thermtrace cat -events <file>`.
+//
 // Regenerate (only when a deliberate behavior change is being made):
 //
 //	go test ./internal/core -run TestGolden -update
@@ -20,11 +26,11 @@ import (
 	"math"
 	"os"
 	"path/filepath"
-	"strings"
 	"testing"
 	"time"
 
 	"thermctl/internal/core"
+	"thermctl/internal/tracefile"
 )
 
 var update = flag.Bool("update", false, "rewrite golden trace files")
@@ -38,46 +44,32 @@ func (tr *trace) addf(format string, args ...any) {
 	tr.lines = append(tr.lines, fmt.Sprintf(format, args...))
 }
 
-// checkGolden compares the trace against testdata/golden/<name>.trace,
+// checkGolden compares the trace against testdata/golden/<name>.tct,
 // or rewrites the file under -update.
 func checkGolden(t *testing.T, name string, tr *trace) {
 	t.Helper()
-	path := filepath.Join("testdata", "golden", name+".trace")
-	got := strings.Join(tr.lines, "\n") + "\n"
+	path := filepath.Join("testdata", "golden", name+".tct")
 	if *update {
+		img, err := tracefile.EncodeEvents(tr.lines)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 			t.Fatal(err)
 		}
-		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+		if err := os.WriteFile(path, img, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		t.Logf("wrote %s (%d lines)", path, len(tr.lines))
+		t.Logf("wrote %s (%d lines, %d bytes)", path, len(tr.lines), len(img))
 		return
 	}
 	want, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatalf("missing golden (run with -update to record): %v", err)
 	}
-	if string(want) == got {
-		return
+	if err := tracefile.DiffEventLines(want, tr.lines); err != nil {
+		t.Fatalf("%s: %v", name, err)
 	}
-	wantLines := strings.Split(string(want), "\n")
-	gotLines := strings.Split(got, "\n")
-	for i := 0; i < len(wantLines) || i < len(gotLines); i++ {
-		var w, g string
-		if i < len(wantLines) {
-			w = wantLines[i]
-		}
-		if i < len(gotLines) {
-			g = gotLines[i]
-		}
-		if w != g {
-			t.Fatalf("%s: first divergence at line %d:\n  golden: %q\n  got:    %q",
-				name, i+1, w, g)
-		}
-	}
-	t.Fatalf("%s: traces differ in length: golden %d lines, got %d",
-		name, len(wantLines), len(gotLines))
 }
 
 // scriptReader replays a synthetic temperature script; read i fails when

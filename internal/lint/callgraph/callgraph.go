@@ -114,7 +114,10 @@ func (g *Graph) Roots() []*Node { return g.roots }
 // IsRoot reports whether fn is one of the hot roots: a method named
 // Step, OnStep, Decide or RunProgram (the SPMD execution loop is as hot
 // as the open-loop step — its per-round body runs once per simulation
-// step for the whole program), or an Apply* method on a type named Txn.
+// step for the whole program), an Apply* method on a type named Txn, or
+// tracefile's Writer.Append (the trace recording path rides the step
+// loop and is benchmarked within 5% of the untraced step, so it must
+// stay allocation-free).
 func IsRoot(fn *types.Func) bool {
 	sig, ok := fn.Type().(*types.Signature)
 	if !ok || sig.Recv() == nil {
@@ -123,6 +126,8 @@ func IsRoot(fn *types.Func) bool {
 	switch fn.Name() {
 	case "Step", "OnStep", "Decide", "RunProgram":
 		return true
+	case "Append":
+		return recvTypeName(sig) == "Writer"
 	}
 	if strings.HasPrefix(fn.Name(), "Apply") {
 		return recvTypeName(sig) == "Txn"

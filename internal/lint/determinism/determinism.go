@@ -57,6 +57,7 @@ var scopePrefixes = []string{
 	"internal/sensor",
 	"internal/simclock",
 	"internal/thermal",
+	"internal/tracefile",
 	"internal/workload",
 	"cmd/experiments",
 	"cmd/clustersim",

@@ -68,6 +68,7 @@ var scopePrefixes = []string{
 	"internal/sensor",
 	"internal/simclock",
 	"internal/thermal",
+	"internal/tracefile",
 	"internal/workload",
 }
 

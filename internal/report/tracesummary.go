@@ -1,0 +1,124 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"thermctl/internal/tracefile"
+)
+
+// SeriesSummary is the per-series digest of a trace file.
+type SeriesSummary struct {
+	Name  string
+	Unit  string
+	Count uint64
+	Min   float64
+	Max   float64
+	Mean  float64
+	Last  float64
+}
+
+// TraceSummary digests a trace file without ever holding its samples
+// in memory: the file-reading counterpart of the in-memory trace
+// summaries the experiments print, sized for campaigns longer than
+// RAM.
+type TraceSummary struct {
+	Compressed bool
+	Chunks     int
+	Samples    uint64
+	Events     uint64
+	From, To   time.Duration
+	HasRange   bool
+	// Incomplete is the reader's recovery report for a truncated or
+	// damaged file, empty for a cleanly closed one.
+	Incomplete string
+	Series     []SeriesSummary
+}
+
+// SummarizeTrace streams one pass over the windowed samples of an open
+// reader and digests each declared series.
+func SummarizeTrace(r *tracefile.Reader, win tracefile.Window) (*TraceSummary, error) {
+	schema := r.Schema()
+	s := &TraceSummary{
+		Compressed: r.Compressed(),
+		Chunks:     r.NumChunks(),
+		Series:     make([]SeriesSummary, len(schema)),
+	}
+	s.Samples, s.Events = r.Counts()
+	s.From, s.To, s.HasRange = r.TimeRange()
+	if err := r.Incomplete(); err != nil {
+		s.Incomplete = err.Error()
+	}
+	sums := make([]float64, len(schema))
+	for i, d := range schema {
+		s.Series[i] = SeriesSummary{Name: d.Name, Unit: d.Unit,
+			Min: math.Inf(1), Max: math.Inf(-1), Mean: math.NaN(), Last: math.NaN()}
+	}
+	err := r.Samples(win, func(sm tracefile.Sample) error {
+		ss := &s.Series[sm.Series]
+		ss.Count++
+		sums[sm.Series] += sm.V
+		if sm.V < ss.Min {
+			ss.Min = sm.V
+		}
+		if sm.V > ss.Max {
+			ss.Max = sm.V
+		}
+		ss.Last = sm.V
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := range s.Series {
+		if s.Series[i].Count > 0 {
+			s.Series[i].Mean = sums[i] / float64(s.Series[i].Count)
+		}
+	}
+	return s, nil
+}
+
+// SummarizeTraceFile opens path and digests it whole.
+func SummarizeTraceFile(path string) (*TraceSummary, error) {
+	r, closer, err := tracefile.OpenFile(path)
+	if err != nil {
+		return nil, err
+	}
+	defer closer.Close()
+	return SummarizeTrace(r, tracefile.Window{})
+}
+
+// WriteText renders the digest as the `thermtrace info` listing.
+func (s *TraceSummary) WriteText(w io.Writer) error {
+	comp := "no"
+	if s.Compressed {
+		comp = "yes"
+	}
+	if _, err := fmt.Fprintf(w, "chunks: %d  samples: %d  events: %d  compressed: %s\n",
+		s.Chunks, s.Samples, s.Events, comp); err != nil {
+		return err
+	}
+	if s.HasRange {
+		if _, err := fmt.Fprintf(w, "time range: %s .. %s\n", s.From, s.To); err != nil {
+			return err
+		}
+	}
+	if s.Incomplete != "" {
+		if _, err := fmt.Fprintf(w, "INCOMPLETE: %s\n", s.Incomplete); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%-24s %-8s %10s %12s %12s %12s %12s\n",
+		"series", "unit", "count", "min", "mean", "max", "last"); err != nil {
+		return err
+	}
+	for _, ss := range s.Series {
+		if _, err := fmt.Fprintf(w, "%-24s %-8s %10d %12.4g %12.4g %12.4g %12.4g\n",
+			ss.Name, ss.Unit, ss.Count, ss.Min, ss.Mean, ss.Max, ss.Last); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,325 @@
+package tracefile
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Divergence pinpoints the first place two traces disagree.
+type Divergence struct {
+	// Kind is "schema", "sample", "event" or "count".
+	Kind string
+	// Index is the record ordinal within its stream (samples and
+	// events count separately).
+	Index uint64
+	// T is the record time in trace A (or B when A ran out first).
+	T time.Duration
+	// Series names the sample's series, for Kind "sample".
+	Series string
+	// A and B are the diverging sample values, for Kind "sample".
+	A, B float64
+	// TextA and TextB are the diverging texts, for Kind "event", or a
+	// human description for "schema" and "count".
+	TextA, TextB string
+}
+
+// String renders the divergence for error messages and thermtrace
+// output.
+func (d Divergence) String() string {
+	switch d.Kind {
+	case "sample":
+		return fmt.Sprintf("sample %d (t=%s, series %s): %v != %v (delta %g)",
+			d.Index, d.T, d.Series, d.A, d.B, math.Abs(d.A-d.B))
+	case "event":
+		return fmt.Sprintf("event %d (t=%s): %q != %q", d.Index, d.T, d.TextA, d.TextB)
+	default:
+		return fmt.Sprintf("%s: %s != %s", d.Kind, d.TextA, d.TextB)
+	}
+}
+
+// DiffResult reports a value-level comparison of two traces.
+type DiffResult struct {
+	// SchemaEqual reports whether the declared series (names and
+	// units, in order) match.
+	SchemaEqual bool
+	// SamplesA/B and EventsA/B count the records compared on each
+	// side.
+	SamplesA, SamplesB uint64
+	EventsA, EventsB   uint64
+	// MaxDelta is the largest absolute sample value difference seen
+	// across aligned records (0 for identical traces).
+	MaxDelta float64
+	// First is the first divergence beyond the tolerance, nil when the
+	// traces match.
+	First *Divergence
+}
+
+// Equal reports whether the traces matched within the tolerance the
+// diff ran with.
+func (r *DiffResult) Equal() bool { return r.SchemaEqual && r.First == nil }
+
+// Diff compares two traces value by value: schemas must match, sample
+// records must align one to one on series and timestamp with values
+// within tol (absolute), and event records must match exactly. It
+// streams chunk by chunk, so traces larger than RAM diff fine. tol 0
+// demands bit-exact values. The first divergence is recorded; MaxDelta
+// keeps accumulating across in-tolerance records either way.
+func Diff(a, b *Reader, tol float64) (*DiffResult, error) {
+	res := &DiffResult{SchemaEqual: schemaEqual(a.schema, b.schema)}
+	if !res.SchemaEqual {
+		res.First = &Divergence{
+			Kind:  "schema",
+			TextA: describeSchema(a.schema),
+			TextB: describeSchema(b.schema),
+		}
+	}
+	if err := diffSamples(a, b, tol, res); err != nil {
+		return nil, err
+	}
+	if err := diffEvents(a, b, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func schemaEqual(a, b []SeriesDef) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func describeSchema(s []SeriesDef) string {
+	return fmt.Sprintf("%d series %v", len(s), s)
+}
+
+func diffSamples(a, b *Reader, tol float64, res *DiffResult) error {
+	ia, ib := newSampleIter(a), newSampleIter(b)
+	for {
+		sa, oka, err := ia.next()
+		if err != nil {
+			return err
+		}
+		sb, okb, err := ib.next()
+		if err != nil {
+			return err
+		}
+		if !oka && !okb {
+			return nil
+		}
+		if oka {
+			res.SamplesA++
+		}
+		if okb {
+			res.SamplesB++
+		}
+		if oka != okb {
+			// One side ran out: drain the other for its count, then
+			// report the length mismatch.
+			long := ia
+			t := sa.T
+			if okb {
+				long = ib
+				t = sb.T
+			}
+			n := res.SamplesA
+			if okb {
+				n = res.SamplesB
+			}
+			for {
+				_, ok, err := long.next()
+				if err != nil {
+					return err
+				}
+				if !ok {
+					break
+				}
+				if oka {
+					res.SamplesA++
+				} else {
+					res.SamplesB++
+				}
+			}
+			if res.First == nil {
+				res.First = &Divergence{
+					Kind: "count", Index: n - 1, T: t,
+					TextA: fmt.Sprintf("%d samples", res.SamplesA),
+					TextB: fmt.Sprintf("%d samples", res.SamplesB),
+				}
+			}
+			return nil
+		}
+		delta := math.Abs(sa.V - sb.V)
+		aligned := sa.Series == sb.Series && sa.T == sb.T
+		// NaN == NaN counts as equal here: a diff tool that flags every
+		// unsampled sensor as a divergence is useless for goldens.
+		same := sa.V == sb.V || (math.IsNaN(sa.V) && math.IsNaN(sb.V))
+		if same {
+			delta = 0
+		}
+		if delta > res.MaxDelta && !math.IsNaN(delta) {
+			res.MaxDelta = delta
+		}
+		if res.First != nil {
+			continue
+		}
+		if !aligned {
+			res.First = &Divergence{
+				Kind: "sample", Index: res.SamplesA - 1, T: sa.T,
+				Series: a.schema[sa.Series].Name, A: sa.V, B: sb.V,
+				TextA: fmt.Sprintf("%s@%s", a.schema[sa.Series].Name, sa.T),
+				TextB: fmt.Sprintf("%s@%s", b.schema[min(sb.Series, len(b.schema)-1)].Name, sb.T),
+			}
+			continue
+		}
+		if !same && (delta > tol || math.IsNaN(delta)) {
+			res.First = &Divergence{
+				Kind: "sample", Index: res.SamplesA - 1, T: sa.T,
+				Series: a.schema[sa.Series].Name, A: sa.V, B: sb.V,
+			}
+		}
+	}
+}
+
+func diffEvents(a, b *Reader, res *DiffResult) error {
+	ia, ib := newEventIter(a), newEventIter(b)
+	for {
+		ea, oka, err := ia.next()
+		if err != nil {
+			return err
+		}
+		eb, okb, err := ib.next()
+		if err != nil {
+			return err
+		}
+		if !oka && !okb {
+			return nil
+		}
+		if oka {
+			res.EventsA++
+		}
+		if okb {
+			res.EventsB++
+		}
+		if oka != okb {
+			long := ia
+			t := ea.T
+			if okb {
+				long = ib
+				t = eb.T
+			}
+			n := res.EventsA
+			if okb {
+				n = res.EventsB
+			}
+			for {
+				_, ok, err := long.next()
+				if err != nil {
+					return err
+				}
+				if !ok {
+					break
+				}
+				if oka {
+					res.EventsA++
+				} else {
+					res.EventsB++
+				}
+			}
+			if res.First == nil {
+				res.First = &Divergence{
+					Kind: "count", Index: n - 1, T: t,
+					TextA: fmt.Sprintf("%d events", res.EventsA),
+					TextB: fmt.Sprintf("%d events", res.EventsB),
+				}
+			}
+			return nil
+		}
+		if res.First == nil && (ea.T != eb.T || ea.Text != eb.Text) {
+			res.First = &Divergence{
+				Kind: "event", Index: res.EventsA - 1, T: ea.T,
+				TextA: ea.Text, TextB: eb.Text,
+			}
+		}
+	}
+}
+
+// sampleIter pulls samples one at a time, decoding one chunk ahead —
+// the cursor the lockstep diff needs on top of the callback Reader.
+type sampleIter struct {
+	r   *Reader
+	ci  int
+	buf []Sample
+	bi  int
+	dec decoder
+}
+
+func newSampleIter(r *Reader) *sampleIter { return &sampleIter{r: r} }
+
+func (it *sampleIter) next() (Sample, bool, error) {
+	for it.bi >= len(it.buf) {
+		// Advance to the next sample chunk.
+		for it.ci < len(it.r.chunks) && it.r.chunks[it.ci].kind != kindSamples {
+			it.ci++
+		}
+		if it.ci >= len(it.r.chunks) {
+			return Sample{}, false, nil
+		}
+		c := it.r.chunks[it.ci]
+		it.ci++
+		it.buf = it.buf[:0]
+		it.bi = 0
+		err := it.r.decodeChunk(c, &it.dec, func(series int, t int64, bits uint64) error {
+			it.buf = append(it.buf, Sample{Series: series, T: time.Duration(t), V: math.Float64frombits(bits)})
+			return nil
+		}, nil)
+		if err != nil {
+			return Sample{}, false, err
+		}
+	}
+	s := it.buf[it.bi]
+	it.bi++
+	return s, true, nil
+}
+
+// eventIter is the event-stream counterpart of sampleIter.
+type eventIter struct {
+	r   *Reader
+	ci  int
+	buf []Event
+	bi  int
+	dec decoder
+}
+
+func newEventIter(r *Reader) *eventIter { return &eventIter{r: r} }
+
+func (it *eventIter) next() (Event, bool, error) {
+	for it.bi >= len(it.buf) {
+		for it.ci < len(it.r.chunks) && it.r.chunks[it.ci].kind != kindEvents {
+			it.ci++
+		}
+		if it.ci >= len(it.r.chunks) {
+			return Event{}, false, nil
+		}
+		c := it.r.chunks[it.ci]
+		it.ci++
+		it.buf = it.buf[:0]
+		it.bi = 0
+		err := it.r.decodeChunk(c, &it.dec, nil, func(t int64, text string) error {
+			it.buf = append(it.buf, Event{T: time.Duration(t), Text: text})
+			return nil
+		})
+		if err != nil {
+			return Event{}, false, err
+		}
+	}
+	e := it.buf[it.bi]
+	it.bi++
+	return e, true, nil
+}

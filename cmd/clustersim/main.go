@@ -118,7 +118,12 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		defer srv.Close()
+		// Drain in-flight scrapes on exit rather than cutting them off.
+		defer func() {
+			if err := srv.ShutdownTimeout(2 * time.Second); err != nil {
+				fmt.Fprintln(os.Stderr, "clustersim: metrics shutdown:", err)
+			}
+		}()
 		fmt.Printf("clustersim: metrics and pprof on http://%s/metrics\n", srv.Addr())
 	}
 

@@ -259,7 +259,12 @@ func run(o options, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		defer srv.Close()
+		// Drain in-flight scrapes on exit rather than cutting them off.
+		defer func() {
+			if err := srv.ShutdownTimeout(2 * time.Second); err != nil {
+				fmt.Fprintln(out, "thermctld: metrics shutdown:", err)
+			}
+		}()
 		fmt.Fprintf(out, "thermctld: metrics and pprof on http://%s/metrics\n", srv.Addr())
 		if o.onListen != nil {
 			o.onListen(srv.Addr())

@@ -1,0 +1,328 @@
+// Command thermq is the CLI client for thermsrv, the campaign server:
+// submit scenarios, follow their state, stream live telemetry, and
+// fetch the trace and report artifacts.
+//
+// Usage:
+//
+//	thermq submit [-addr url] [-wait] <scenario.json>
+//	thermq list   [-addr url]
+//	thermq status [-addr url] <job-id>
+//	thermq cancel [-addr url] <job-id>
+//	thermq watch  [-addr url] <job-id>
+//	thermq trace  [-addr url] <job-id> <out.tct>
+//	thermq report [-addr url] <job-id>
+//
+// The default address is http://127.0.0.1:9600, thermsrv's default
+// listen address. watch prints the job's SSE stream one event per
+// line until the job reaches a terminal state; trace downloads the
+// .tct artifact for thermtrace to slice.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"thermctl/internal/server"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run dispatches the subcommands; tests drive it directly.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		usage(stderr)
+		return 2
+	}
+	var err error
+	switch args[0] {
+	case "submit":
+		err = submitCmd(args[1:], stdout)
+	case "list":
+		err = listCmd(args[1:], stdout)
+	case "status":
+		err = statusCmd(args[1:], stdout)
+	case "cancel":
+		err = cancelCmd(args[1:], stdout)
+	case "watch":
+		err = watchCmd(args[1:], stdout)
+	case "trace":
+		err = traceCmd(args[1:], stdout)
+	case "report":
+		err = reportCmd(args[1:], stdout)
+	case "-h", "-help", "--help", "help":
+		usage(stdout)
+		return 0
+	default:
+		fmt.Fprintf(stderr, "thermq: unknown command %q\n", args[0])
+		usage(stderr)
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "thermq:", err)
+		return 1
+	}
+	return 0
+}
+
+func usage(w io.Writer) {
+	fmt.Fprint(w, `usage:
+  thermq submit [-addr url] [-wait] <scenario.json>
+  thermq list   [-addr url]
+  thermq status [-addr url] <job-id>
+  thermq cancel [-addr url] <job-id>
+  thermq watch  [-addr url] <job-id>
+  thermq trace  [-addr url] <job-id> <out.tct>
+  thermq report [-addr url] <job-id>
+`)
+}
+
+const defaultAddr = "http://127.0.0.1:9600"
+
+// addrFlag registers the shared -addr flag on a subcommand flag set.
+func addrFlag(fs *flag.FlagSet) *string {
+	return fs.String("addr", defaultAddr, "thermsrv base URL")
+}
+
+// apiError decodes the server's JSON error envelope into a Go error.
+func apiError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var eb struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &eb) == nil && eb.Error != "" {
+		return fmt.Errorf("%s: %s", resp.Status, eb.Error)
+	}
+	return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+}
+
+// getJSON fetches url and decodes the response into v.
+func getJSON(url string, v any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// printView renders one job line.
+func printView(w io.Writer, v server.View) {
+	prog := v.Program
+	if prog == "" {
+		prog = "generator"
+	}
+	line := fmt.Sprintf("%-18s %-9s %-10s nodes=%d", v.ID, v.State, prog, v.Nodes)
+	if v.ExecTimeMS > 0 {
+		line += fmt.Sprintf(" sim=%s", time.Duration(v.ExecTimeMS)*time.Millisecond)
+	}
+	if v.Error != "" {
+		line += " error=" + v.Error
+	}
+	fmt.Fprintln(w, line)
+}
+
+func submitCmd(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("submit", flag.ContinueOnError)
+	addr := addrFlag(fs)
+	wait := fs.Bool("wait", false, "poll until the job reaches a terminal state")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("submit wants one scenario file")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	resp, err := http.Post(*addr+"/v1/jobs", "application/json", f)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return apiError(resp)
+	}
+	var v server.View
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return err
+	}
+	printView(stdout, v)
+	if !*wait {
+		return nil
+	}
+	for !v.State.Terminal() {
+		time.Sleep(100 * time.Millisecond)
+		if err := getJSON(*addr+"/v1/jobs/"+v.ID, &v); err != nil {
+			return err
+		}
+	}
+	printView(stdout, v)
+	if v.State == server.StateFailed {
+		return fmt.Errorf("job %s failed: %s", v.ID, v.Error)
+	}
+	return nil
+}
+
+func listCmd(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("list", flag.ContinueOnError)
+	addr := addrFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var body struct {
+		Jobs []server.View `json:"jobs"`
+	}
+	if err := getJSON(*addr+"/v1/jobs", &body); err != nil {
+		return err
+	}
+	for _, v := range body.Jobs {
+		printView(stdout, v)
+	}
+	fmt.Fprintf(stdout, "%d job(s)\n", len(body.Jobs))
+	return nil
+}
+
+// oneIDCmd parses the shared "[-addr] <job-id>" shape.
+func oneIDCmd(name string, args []string) (addr, id string, err error) {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	a := addrFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return "", "", err
+	}
+	if fs.NArg() != 1 {
+		return "", "", fmt.Errorf("%s wants one job id", name)
+	}
+	return *a, fs.Arg(0), nil
+}
+
+func statusCmd(args []string, stdout io.Writer) error {
+	addr, id, err := oneIDCmd("status", args)
+	if err != nil {
+		return err
+	}
+	var v server.View
+	if err := getJSON(addr+"/v1/jobs/"+id, &v); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+func cancelCmd(args []string, stdout io.Writer) error {
+	addr, id, err := oneIDCmd("cancel", args)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodDelete, addr+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return apiError(resp)
+	}
+	var v server.View
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return err
+	}
+	printView(stdout, v)
+	return nil
+}
+
+func watchCmd(args []string, stdout io.Writer) error {
+	addr, id, err := oneIDCmd("watch", args)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Get(addr + "/v1/jobs/" + id + "/stream")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	// SSE framing: "event: kind" then "data: {...}" then a blank line.
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	kind := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			kind = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			fmt.Fprintf(stdout, "%-9s %s\n", kind, strings.TrimPrefix(line, "data: "))
+		}
+	}
+	return sc.Err()
+}
+
+func traceCmd(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	addr := addrFlag(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("trace wants a job id and an output path")
+	}
+	id, out := fs.Arg(0), fs.Arg(1)
+	resp, err := http.Get(*addr + "/v1/jobs/" + id + "/trace")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	n, err := io.Copy(f, resp.Body)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %s (%d bytes); inspect with `go run ./cmd/thermtrace info %s`\n", out, n, out)
+	return nil
+}
+
+func reportCmd(args []string, stdout io.Writer) error {
+	addr, id, err := oneIDCmd("report", args)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Get(addr + "/v1/jobs/" + id + "/report")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	_, err = io.Copy(stdout, resp.Body)
+	return err
+}

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"thermctl/internal/server"
+	"thermctl/internal/tracefile"
+)
+
+// startAPI serves a campaign server over httptest for the client to
+// talk to.
+func startAPI(t *testing.T) *httptest.Server {
+	t.Helper()
+	s, err := server.New(server.Config{Workers: 2, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return ts
+}
+
+// thermq invokes the CLI and returns its exit code and output.
+func thermq(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+// writeSpec drops a scenario file into a temp dir.
+func writeSpec(t *testing.T, spec string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "scenario.json")
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSubmitWaitAndArtifacts(t *testing.T) {
+	ts := startAPI(t)
+	spec := writeSpec(t, `{"nodes": 2, "program": "bt"}`)
+
+	code, out, errOut := thermq(t, "submit", "-addr", ts.URL, "-wait", spec)
+	if code != 0 {
+		t.Fatalf("submit -wait: exit %d, stderr %q", code, errOut)
+	}
+	if !strings.Contains(out, "done") {
+		t.Fatalf("submit -wait output lacks terminal state:\n%s", out)
+	}
+	// First line: "<id> <state> ..."
+	id := strings.Fields(out)[0]
+
+	code, out, errOut = thermq(t, "status", "-addr", ts.URL, id)
+	if code != 0 || !strings.Contains(out, `"state": "done"`) {
+		t.Fatalf("status: exit %d out %q err %q", code, out, errOut)
+	}
+
+	code, out, _ = thermq(t, "list", "-addr", ts.URL)
+	if code != 0 || !strings.Contains(out, "1 job(s)") || !strings.Contains(out, id) {
+		t.Fatalf("list: exit %d out:\n%s", code, out)
+	}
+
+	code, out, errOut = thermq(t, "report", "-addr", ts.URL, id)
+	if code != 0 || !strings.Contains(out, `"cluster_avg_w"`) {
+		t.Fatalf("report: exit %d out %q err %q", code, out, errOut)
+	}
+
+	dst := filepath.Join(t.TempDir(), "out.tct")
+	code, out, errOut = thermq(t, "trace", "-addr", ts.URL, id, dst)
+	if code != 0 || !strings.Contains(out, "wrote "+dst) {
+		t.Fatalf("trace: exit %d out %q err %q", code, out, errOut)
+	}
+	r, closer, err := tracefile.OpenFile(dst)
+	if err != nil {
+		t.Fatalf("downloaded trace: %v", err)
+	}
+	if len(r.Schema()) == 0 {
+		t.Fatal("downloaded trace has no schema")
+	}
+	closer.Close()
+
+	// watch on the terminal job prints its final state frame.
+	code, out, errOut = thermq(t, "watch", "-addr", ts.URL, id)
+	if code != 0 || !strings.Contains(out, "state") || !strings.Contains(out, `"done"`) {
+		t.Fatalf("watch: exit %d out %q err %q", code, out, errOut)
+	}
+}
+
+func TestSubmitInvalidSpecFails(t *testing.T) {
+	ts := startAPI(t)
+	spec := writeSpec(t, `{"program": "mg"}`)
+	code, _, errOut := thermq(t, "submit", "-addr", ts.URL, spec)
+	if code == 0 {
+		t.Fatal("invalid spec must fail")
+	}
+	if !strings.Contains(errOut, "invalid scenario") {
+		t.Fatalf("stderr lacks the server's message: %q", errOut)
+	}
+}
+
+func TestUnknownCommandAndUsage(t *testing.T) {
+	code, _, errOut := thermq(t, "frobnicate")
+	if code != 2 || !strings.Contains(errOut, "unknown command") {
+		t.Fatalf("unknown command: exit %d stderr %q", code, errOut)
+	}
+	code, out, _ := thermq(t, "help")
+	if code != 0 || !strings.Contains(out, "thermq submit") {
+		t.Fatalf("help: exit %d out %q", code, out)
+	}
+	if code, _, _ := thermq(t); code != 2 {
+		t.Fatal("no args must exit 2")
+	}
+}
+
+func TestStatusUnknownJob(t *testing.T) {
+	ts := startAPI(t)
+	code, _, errOut := thermq(t, "status", "-addr", ts.URL, "nope")
+	if code == 0 || !strings.Contains(errOut, "404") {
+		t.Fatalf("unknown job: exit %d stderr %q", code, errOut)
+	}
+}
+
+func TestCancelRunningJob(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	s, err := server.New(server.Config{Workers: 1, Dir: t.TempDir(), GeneratorHorizon: 1000 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		s.Shutdown(ctx)
+	}()
+
+	spec := writeSpec(t, `{"nodes": 2}`)
+	code, out, errOut := thermq(t, "submit", "-addr", ts.URL, spec)
+	if code != 0 {
+		t.Fatalf("submit: exit %d stderr %q", code, errOut)
+	}
+	id := strings.Fields(out)[0]
+	code, out, errOut = thermq(t, "cancel", "-addr", ts.URL, id)
+	if code != 0 || !strings.Contains(out, id) {
+		t.Fatalf("cancel: exit %d out %q err %q", code, out, errOut)
+	}
+}

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startDaemon boots run() on an ephemeral port and returns the base
+// URL plus a stop function that waits for a clean exit.
+func startDaemon(t *testing.T, o options) (string, func() *bytes.Buffer) {
+	t.Helper()
+	stop := make(chan struct{})
+	addrCh := make(chan string, 1)
+	o.listen = "127.0.0.1:0"
+	if o.dir == "" {
+		o.dir = t.TempDir()
+	}
+	if o.drain == 0 {
+		o.drain = 10 * time.Second
+	}
+	o.stop = stop
+	o.onListen = func(a string) { addrCh <- a }
+
+	var out bytes.Buffer
+	done := make(chan error, 1)
+	go func() { done <- run(o, &out) }()
+
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case err := <-done:
+		t.Fatalf("daemon exited early: %v\n%s", err, out.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never listened")
+	}
+	stopped := false
+	stopFn := func() *bytes.Buffer {
+		if !stopped {
+			stopped = true
+			close(stop)
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatalf("daemon exit: %v\n%s", err, out.String())
+				}
+			case <-time.After(30 * time.Second):
+				t.Fatal("daemon did not stop")
+			}
+		}
+		return &out
+	}
+	t.Cleanup(func() { stopFn() })
+	return "http://" + addr, stopFn
+}
+
+func TestServeSubmitAndShutdown(t *testing.T) {
+	base, stop := startDaemon(t, options{workers: 2, queue: 8, sample: time.Second, genHorizon: 10 * time.Second})
+
+	// Liveness and observability surfaces are mounted.
+	for _, path := range []string{"/healthz", "/metrics"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+	}
+
+	// Submit a campaign over the wire and follow it to done.
+	resp, err := http.Post(base+"/v1/jobs", "application/json",
+		strings.NewReader(`{"nodes": 2, "program": "bt"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for v.State != "done" {
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q", v.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+		r2, err := http.Get(base + "/v1/jobs/" + v.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(r2.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+		r2.Body.Close()
+	}
+
+	// The server's own instruments show up on /metrics.
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(body), "thermsrv_jobs_submitted_total 1") {
+		t.Fatalf("metrics missing submission count:\n%s", body)
+	}
+
+	out := stop()
+	if !strings.Contains(out.String(), "thermsrv: done") {
+		t.Fatalf("missing shutdown banner:\n%s", out.String())
+	}
+}
+
+func TestShutdownRacesInFlightJob(t *testing.T) {
+	// Stop the daemon while a long campaign runs: the drain window
+	// forces cancellation and the process still exits cleanly.
+	base, stop := startDaemon(t, options{workers: 1, queue: 8, sample: time.Second,
+		genHorizon: 1000 * time.Hour, drain: 100 * time.Millisecond})
+
+	resp, err := http.Post(base+"/v1/jobs", "application/json", strings.NewReader(`{"nodes": 2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	out := stop()
+	if !strings.Contains(out.String(), "thermsrv: done") {
+		t.Fatalf("daemon did not exit cleanly:\n%s", out.String())
+	}
+}

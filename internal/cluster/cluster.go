@@ -113,6 +113,10 @@ type Cluster struct {
 	// progStates holds one SPMD process slot per node, reused across
 	// RunProgram calls (the slice length is fixed by the node count).
 	progStates []procState
+
+	// stop, when set, aborts RunProgram/RunGenerator at the next round
+	// boundary (see SetStop).
+	stop <-chan struct{}
 }
 
 // New builds a cluster of n default nodes stepping at dt. Node i is
@@ -205,6 +209,27 @@ func (c *Cluster) AddNodeController(i int, ctl Controller) {
 	c.nLocals++
 }
 
+// SetStop arms an external cancellation signal: once stop is closed,
+// RunProgram and RunGenerator return at the next round boundary (a
+// context's Done channel is the intended argument). The check runs in
+// the serial phase between rounds, so a canceled run is a clean prefix
+// of the uncanceled one — the simulated state never stops mid-step.
+// Pass nil to disarm.
+func (c *Cluster) SetStop(stop <-chan struct{}) { c.stop = stop }
+
+// stopRequested polls the stop channel without blocking.
+func (c *Cluster) stopRequested() bool {
+	if c.stop == nil {
+		return false
+	}
+	select {
+	case <-c.stop:
+		return true
+	default:
+		return false
+	}
+}
+
 // Settle equilibrates every node at the given utilization.
 func (c *Cluster) Settle(util float64) {
 	for _, n := range c.Nodes {
@@ -258,7 +283,7 @@ func (c *Cluster) RunGenerator(g workload.Generator, d time.Duration) {
 		n.SetGenerator(g)
 	}
 	deadline := c.Clock.Now() + d
-	for c.Clock.Now() < deadline {
+	for c.Clock.Now() < deadline && !c.stopRequested() {
 		c.Step()
 	}
 }
@@ -291,6 +316,9 @@ type RunResult struct {
 	ExecTime time.Duration
 	// TimedOut reports whether the run hit maxTime before completion.
 	TimedOut bool
+	// Canceled reports that the stop channel armed with SetStop fired
+	// before completion; ExecTime covers the rounds actually run.
+	Canceled bool
 	// Err is non-nil when the run could not start (e.g. maxTime <= 0
 	// asked for the ideal-time bound but a node's CPU has no P-state
 	// table to derive it from). ExecTime is zero in that case.
@@ -348,6 +376,9 @@ func (c *Cluster) RunProgram(prog workload.Program, maxTime time.Duration) RunRe
 		}
 		if c.Clock.Now()-start >= maxTime {
 			return RunResult{Program: prog.Name, ExecTime: c.Clock.Now() - start, TimedOut: true}
+		}
+		if c.stopRequested() {
+			return RunResult{Program: prog.Name, ExecTime: c.Clock.Now() - start, Canceled: true}
 		}
 
 		// Parallel phase: each process advances against its own node

@@ -130,3 +130,65 @@ func TestMixedFrequencyNodesFinishTogether(t *testing.T) {
 		t.Errorf("exec %.2f s, slowest-node ideal %.2f", got, want)
 	}
 }
+
+// TestRunProgramCanceled: closing the stop channel mid-run makes
+// RunProgram return Canceled at the next round boundary, with the
+// elapsed prefix in ExecTime.
+func TestRunProgramCanceled(t *testing.T) {
+	c, err := New(2, DefaultDt, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Settle(0)
+	stop := make(chan struct{})
+	c.SetStop(stop)
+	// Cancel from a controller after 5 simulated seconds: the check
+	// runs in the serial round loop, so the cancellation lands
+	// deterministically.
+	fired := false
+	c.AddController(ControllerFunc(func(now time.Duration) {
+		if !fired && now >= 5*time.Second {
+			fired = true
+			close(stop)
+		}
+	}))
+	res := c.RunProgram(workload.BTB4(), 0)
+	if !res.Canceled {
+		t.Fatalf("result %+v, want Canceled", res)
+	}
+	if res.TimedOut || res.Err != nil {
+		t.Fatalf("canceled result carries TimedOut/Err: %+v", res)
+	}
+	if res.ExecTime < 5*time.Second || res.ExecTime > 6*time.Second {
+		t.Errorf("ExecTime = %s, want just past the 5s cancellation", res.ExecTime)
+	}
+}
+
+// TestRunGeneratorCanceled: RunGenerator honors the same stop signal.
+func TestRunGeneratorCanceled(t *testing.T) {
+	c, err := New(1, DefaultDt, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Settle(0)
+	stop := make(chan struct{})
+	c.SetStop(stop)
+	fired := false
+	c.AddController(ControllerFunc(func(now time.Duration) {
+		if !fired && now >= 2*time.Second {
+			fired = true
+			close(stop)
+		}
+	}))
+	c.RunGenerator(workload.Constant(0.5), time.Hour)
+	if got := c.Clock.Now(); got < 2*time.Second || got > 3*time.Second {
+		t.Errorf("generator ran to %s, want cancellation just past 2s", got)
+	}
+	// Disarmed, the cluster runs normally again.
+	c.SetStop(nil)
+	before := c.Clock.Now()
+	c.RunGenerator(workload.Constant(0.5), 2*time.Second)
+	if got := c.Clock.Now() - before; got < 2*time.Second {
+		t.Errorf("disarmed run advanced only %s, want the full 2s", got)
+	}
+}

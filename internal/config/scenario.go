@@ -53,8 +53,11 @@ type ControlSpec struct {
 type ChaosSpec struct {
 	// Seed generates the campaign (0 = no faults).
 	Seed uint64 `json:"seed,omitempty"`
-	// HorizonMS bounds the campaign when no program sets the run
-	// length. Default 60000.
+	// HorizonMS bounds the generated campaign in simulated
+	// milliseconds. Zero derives a default at build time: 1.5× the
+	// program's ideal execution time when the scenario runs a program,
+	// 60000 otherwise. A non-zero value is honored as written, program
+	// or not.
 	HorizonMS int `json:"horizon_ms,omitempty"`
 }
 
@@ -77,7 +80,9 @@ type Scenario struct {
 	// Seed seeds the simulation. Default 20100131.
 	Seed uint64 `json:"seed"`
 	// Workers is the stepping worker-pool size; 0 picks GOMAXPROCS at
-	// build time. Results are identical for any value.
+	// build time, and a value above Nodes is clamped to Nodes by the
+	// cluster's SetWorkers (a worker per node is the useful maximum —
+	// not an error). Results are identical for any value.
 	Workers int `json:"workers,omitempty"`
 	// Program is the SPMD program to execute: bt, lu, or empty for
 	// generator-driven runs (the caller attaches its own workload).
@@ -117,7 +122,11 @@ func (s *Scenario) Normalize() {
 	if s.Control.Sleep == "" {
 		s.Control.Sleep = "none"
 	}
-	if s.Chaos.Seed != 0 && s.Chaos.HorizonMS == 0 {
+	// The chaos horizon defaults here only for generator-driven
+	// scenarios; with a program the default derives from the program's
+	// ideal time at build, and filling it now would shadow that (and a
+	// filled value must win — see Build).
+	if s.Chaos.Seed != 0 && s.Chaos.HorizonMS == 0 && s.Program == "" {
 		s.Chaos.HorizonMS = 60000
 	}
 	s.Control.Tuning.Normalize()
@@ -150,7 +159,10 @@ func (s *Scenario) Validate() error {
 		return fmt.Errorf("config: sleep %q: unknown sleep-state control (want none or ctlarray)", s.Control.Sleep)
 	}
 	if s.Workers < 0 {
-		return fmt.Errorf("config: workers %d: need at least one worker", s.Workers)
+		return fmt.Errorf("config: workers %d: must be >= 0 (0 means GOMAXPROCS)", s.Workers)
+	}
+	if s.Chaos.HorizonMS < 0 {
+		return fmt.Errorf("config: chaos horizon_ms %d: must be >= 0 (0 derives a default)", s.Chaos.HorizonMS)
 	}
 	if s.Chaos.Seed != 0 && s.Control.Fan == "auto" && s.Control.DVFS == "none" && s.Control.Sleep == "none" {
 		return fmt.Errorf("config: chaos seed %d: chaos needs a software controller to exercise", s.Chaos.Seed)
@@ -335,6 +347,10 @@ type Rig struct {
 	Registry *metrics.Registry
 	// Plane replays the generated fault campaign (nil without chaos).
 	Plane *faults.Plane
+	// ChaosHorizon is the effective fault-campaign bound handed to
+	// faults.Generate: the scenario's explicit horizon_ms, or the
+	// derived default (zero without chaos).
+	ChaosHorizon time.Duration
 	// Nodes holds the per-node controller sets, index-aligned with
 	// Cluster.Nodes.
 	Nodes []*NodeControl
@@ -381,10 +397,14 @@ func (s Scenario) Build() (*Rig, error) {
 		for i, n := range c.Nodes {
 			names[i] = n.Name
 		}
+		// An explicit horizon_ms wins; only a zero field derives the
+		// default from the program's ideal execution time. (It used to
+		// be discarded whenever a program was set.)
 		horizon := time.Duration(s.Chaos.HorizonMS) * time.Millisecond
-		if rig.Program != nil {
+		if horizon <= 0 && rig.Program != nil {
 			horizon = time.Duration(1.5 * rig.Program.IdealSeconds(2.4) * float64(time.Second))
 		}
+		rig.ChaosHorizon = horizon
 		plan := faults.Generate(s.Chaos.Seed, names, horizon)
 		plane, err := c.ApplyFaults(plan, s.Seed)
 		if err != nil {

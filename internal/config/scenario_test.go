@@ -31,8 +31,11 @@ func TestScenarioJSONRoundTrip(t *testing.T) {
 	if s.Control.Sleep != "ctlarray" || s.Control.Tuning.Pp != 25 {
 		t.Errorf("control = %+v", s.Control)
 	}
-	if s.Chaos.HorizonMS != 60000 {
-		t.Errorf("chaos horizon not defaulted: %d", s.Chaos.HorizonMS)
+	// With a program set, a zero horizon stays zero: Build derives the
+	// default from the program's ideal time (Normalize filling 60000
+	// here would shadow that derivation).
+	if s.Chaos.HorizonMS != 0 {
+		t.Errorf("chaos horizon filled despite program: %d", s.Chaos.HorizonMS)
 	}
 	if !s.Metrics.Enabled || s.Metrics.Labels["rack"] != "r1" {
 		t.Errorf("metrics = %+v", s.Metrics)
@@ -56,6 +59,7 @@ func TestScenarioValidation(t *testing.T) {
 		{"bad sleep", func(s *Scenario) { s.Control.Sleep = "deep" }, "sleep"},
 		{"bad program", func(s *Scenario) { s.Program = "ep" }, "program"},
 		{"negative workers", func(s *Scenario) { s.Workers = -1 }, "workers"},
+		{"negative chaos horizon", func(s *Scenario) { s.Chaos = ChaosSpec{Seed: 3, HorizonMS: -1} }, "horizon_ms"},
 		{"bad pp", func(s *Scenario) { s.Control.Tuning.Pp = 200 }, "pp"},
 		{"chaos without control", func(s *Scenario) {
 			s.Control = ControlSpec{Fan: "auto", DVFS: "none", Sleep: "none", Tuning: Default()}
@@ -187,6 +191,89 @@ func TestScenarioBuildChaosAndMetrics(t *testing.T) {
 		if !strings.Contains(body, want) {
 			t.Errorf("exposition missing %q", want)
 		}
+	}
+}
+
+// TestScenarioWorkersMessageAndClamp: the workers error names the real
+// constraint (0 is valid and means GOMAXPROCS), and a value above the
+// node count is clamped by the cluster, not rejected.
+func TestScenarioWorkersMessageAndClamp(t *testing.T) {
+	s := DefaultScenario()
+	s.Normalize()
+	s.Workers = -1
+	err := s.Validate()
+	if err == nil {
+		t.Fatal("workers -1 accepted")
+	}
+	if strings.Contains(err.Error(), "at least one worker") {
+		t.Errorf("error %q still claims one worker is the minimum; 0 is valid", err)
+	}
+	if !strings.Contains(err.Error(), "GOMAXPROCS") {
+		t.Errorf("error %q does not explain that 0 means GOMAXPROCS", err)
+	}
+
+	s = DefaultScenario()
+	s.Nodes = 2
+	s.Workers = 64 // more workers than nodes: clamped, never an error
+	rig, err := s.Build()
+	if err != nil {
+		t.Fatalf("workers > nodes rejected: %v", err)
+	}
+	if got := rig.Cluster.Workers(); got != 2 {
+		t.Errorf("workers = %d after clamp, want 2", got)
+	}
+}
+
+// TestScenarioChaosHorizonExplicit: an explicit chaos.horizon_ms must
+// bound the generated campaign even when a program is set — it used to
+// be silently replaced by 1.5× the program's ideal time.
+func TestScenarioChaosHorizonExplicit(t *testing.T) {
+	s := DefaultScenario()
+	s.Nodes = 2
+	s.Program = "bt"
+	s.Chaos = ChaosSpec{Seed: 11, HorizonMS: 4200}
+	rig, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 4200 * time.Millisecond
+	if rig.ChaosHorizon != want {
+		t.Fatalf("chaos horizon = %s, want the explicit %s", rig.ChaosHorizon, want)
+	}
+	for _, sch := range rig.Plane.Plan().Schedules {
+		for _, ep := range sch.Episodes {
+			if end := time.Duration(ep.Start) + time.Duration(ep.Duration); end > want {
+				t.Errorf("episode %s+%s extends past the explicit horizon %s",
+					time.Duration(ep.Start), time.Duration(ep.Duration), want)
+			}
+		}
+	}
+}
+
+// TestScenarioChaosHorizonDerived: with a program and a zero horizon,
+// Build derives 1.5× the program's ideal time as before.
+func TestScenarioChaosHorizonDerived(t *testing.T) {
+	s := DefaultScenario()
+	s.Nodes = 2
+	s.Program = "bt"
+	s.Chaos = ChaosSpec{Seed: 11}
+	rig, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := time.Duration(1.5 * rig.Program.IdealSeconds(2.4) * float64(time.Second))
+	if rig.ChaosHorizon != want {
+		t.Fatalf("derived chaos horizon = %s, want 1.5×ideal = %s", rig.ChaosHorizon, want)
+	}
+	// And generator-driven scenarios keep the documented 60 s default.
+	s.Program = ""
+	s.Chaos = ChaosSpec{Seed: 11}
+	rig, err = s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rig.ChaosHorizon != 60*time.Second {
+		t.Fatalf("generator chaos horizon = %s, want 60s", rig.ChaosHorizon)
 	}
 }
 

@@ -1,6 +1,7 @@
 package config
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -8,6 +9,11 @@ import (
 	"thermctl/internal/cluster"
 	"thermctl/internal/tracefile"
 )
+
+// ErrTraceInterval reports an AttachTraceProbe sampling interval <= 0.
+// A zero or negative interval would leave the probe's schedule stuck
+// (next never advances past now), silently sampling every step.
+var ErrTraceInterval = errors.New("config: trace probe interval must be positive")
 
 // Per-node observables recorded by the trace probe, in series-index
 // order within each node's block.
@@ -62,6 +68,9 @@ type TraceProbe struct {
 // while the delta+varint encoding already carries most of the size
 // win. Offline writers (golden images) keep compression on.
 func AttachTraceProbe(c *cluster.Cluster, dst io.Writer, every time.Duration) (*tracefile.Writer, error) {
+	if every <= 0 {
+		return nil, fmt.Errorf("%w (got %s)", ErrTraceInterval, every)
+	}
 	w, err := tracefile.NewWriter(dst, ClusterTraceSchema(len(c.Nodes)),
 		&tracefile.Options{NoCompress: true})
 	if err != nil {

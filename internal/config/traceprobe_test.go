@@ -2,6 +2,7 @@ package config
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"testing"
 	"time"
@@ -106,6 +107,35 @@ func TestTraceProbeRoundTrip(t *testing.T) {
 	}
 	if ns, _ := r.Counts(); ns == 0 {
 		t.Fatal("trace recorded no samples")
+	}
+}
+
+// TestTraceProbeRejectsBadInterval: every <= 0 must fail with the named
+// error instead of registering a probe whose schedule never advances
+// (it would sample on every step, bloating the trace silently).
+func TestTraceProbeRejectsBadInterval(t *testing.T) {
+	s := DefaultScenario()
+	s.Nodes = 1
+	s.Program = ""
+	rig, err := s.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for _, every := range []time.Duration{0, -time.Second} {
+		w, err := AttachTraceProbe(rig.Cluster, &buf, every)
+		if err == nil {
+			t.Fatalf("interval %s accepted", every)
+		}
+		if !errors.Is(err, ErrTraceInterval) {
+			t.Fatalf("interval %s: error %v is not ErrTraceInterval", every, err)
+		}
+		if w != nil {
+			t.Fatalf("interval %s: writer returned alongside error", every)
+		}
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("rejected probe still wrote %d header bytes", buf.Len())
 	}
 }
 

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
@@ -62,5 +63,25 @@ func Serve(addr string, r *Registry) (*Server, error) {
 // Addr returns the bound address, e.g. "127.0.0.1:49321".
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the listener and in-flight handlers.
+// Shutdown stops the listener and waits for in-flight handlers (a
+// scrape mid-response, a running profile) to finish, up to ctx's
+// deadline. Prefer it over Close on any orderly exit so the last
+// scrape of a run is not truncated; fall back to Close when the
+// deadline expires.
+func (s *Server) Shutdown(ctx context.Context) error { return s.srv.Shutdown(ctx) }
+
+// Close stops the listener and in-flight handlers immediately: the
+// forceful fallback when a Shutdown deadline has already expired.
 func (s *Server) Close() error { return s.srv.Close() }
+
+// ShutdownTimeout drains the server gracefully for at most d, then
+// closes whatever is left. The convenience shape every daemon's exit
+// path wants.
+func (s *Server) ShutdownTimeout(d time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		return s.Close()
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"context"
 	"io"
 	"math"
 	"net/http"
@@ -231,5 +232,58 @@ func TestServeMetricsAndPprof(t *testing.T) {
 	}
 	if body := get("/debug/pprof/cmdline"); body == "" {
 		t.Error("/debug/pprof/cmdline returned nothing")
+	}
+}
+
+// TestShutdownDrainsInFlight: Shutdown must let a request that is
+// already being served run to completion (Close would sever it
+// mid-body), then refuse new connections.
+func TestShutdownDrainsInFlight(t *testing.T) {
+	r := NewRegistry()
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A one-second runtime trace holds its connection busy long enough
+	// that Shutdown provably overlaps an in-flight handler.
+	resp, err := http.Get("http://" + srv.Addr() + "/debug/pprof/trace?seconds=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace status %d", resp.StatusCode)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		done <- err
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown during in-flight request: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("in-flight request truncated by Shutdown: %v", err)
+	}
+	if _, err := http.Get("http://" + srv.Addr() + "/metrics"); err == nil {
+		t.Error("server still accepting connections after Shutdown")
+	}
+}
+
+// TestShutdownTimeoutIdle: the convenience wrapper returns promptly on
+// an idle server and leaves it closed.
+func TestShutdownTimeoutIdle(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.ShutdownTimeout(5 * time.Second); err != nil {
+		t.Fatalf("ShutdownTimeout on idle server: %v", err)
+	}
+	if _, err := http.Get("http://" + srv.Addr() + "/metrics"); err == nil {
+		t.Error("server still accepting connections after ShutdownTimeout")
 	}
 }

@@ -1,0 +1,160 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"thermctl/internal/metrics"
+	"thermctl/internal/tracefile"
+)
+
+// TestLoadManyConcurrentCampaigns is the acceptance load smoke: 50
+// campaigns submitted concurrently against a 4-worker pool while a
+// dozen SSE clients stream, every job reaching a terminal state with
+// a readable .tct artifact and the metrics ledger balancing.
+func TestLoadManyConcurrentCampaigns(t *testing.T) {
+	const (
+		jobs       = 50
+		sseClients = 12
+	)
+	reg := metrics.NewRegistry()
+	s, ts := newTestServer(t, Config{
+		Workers:    4,
+		QueueDepth: jobs, // admission is not under test here
+		Registry:   reg,
+		// ~10s of simulated time keeps each campaign around a
+		// millisecond of wall clock; the concurrency is the point.
+		GeneratorHorizon: 10 * time.Second,
+	})
+
+	// Mix program-driven and generator-driven campaigns, some with a
+	// fault plane.
+	specFor := func(i int) string {
+		switch i % 3 {
+		case 0:
+			return fmt.Sprintf(`{"nodes": 2, "program": "bt", "seed": %d}`, i+1)
+		case 1:
+			return fmt.Sprintf(`{"nodes": 2, "seed": %d}`, i+1)
+		default:
+			return fmt.Sprintf(`{"nodes": 2, "seed": %d, "chaos": {"seed": %d, "horizon_ms": 10000}}`, i+1, i+1)
+		}
+	}
+
+	var wg sync.WaitGroup
+	var idMu sync.Mutex
+	ids := make([]string, jobs)
+	getID := func(i int) string {
+		idMu.Lock()
+		defer idMu.Unlock()
+		return ids[i]
+	}
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v := submit(t, ts, specFor(i))
+			idMu.Lock()
+			ids[i] = v.ID
+			idMu.Unlock()
+		}(i)
+	}
+
+	// SSE readers follow the whole job list as it appears, each
+	// draining whatever streams it can reach until its jobs are
+	// terminal.
+	sseDone := make(chan int, sseClients)
+	for c := 0; c < sseClients; c++ {
+		go func(c int) {
+			frames := 0
+			// Each client owns a slice of the job indexes.
+			for i := c; i < jobs; i += sseClients {
+				// The job id may not be published yet; poll briefly.
+				var id string
+				for range [2000]struct{}{} {
+					if id = getID(i); id != "" {
+						break
+					}
+					time.Sleep(time.Millisecond)
+				}
+				if id == "" {
+					continue
+				}
+				resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/stream")
+				if err != nil {
+					continue
+				}
+				events := readSSE(t, resp.Body, 100_000, func(ev sseEvent) bool {
+					if ev.kind != "state" {
+						return false
+					}
+					var st View
+					return json.Unmarshal([]byte(ev.data), &st) == nil && st.State.Terminal()
+				})
+				resp.Body.Close()
+				frames += len(events)
+			}
+			sseDone <- frames
+		}(c)
+	}
+
+	wg.Wait()
+	frames := 0
+	for c := 0; c < sseClients; c++ {
+		frames += <-sseDone
+	}
+	if frames == 0 {
+		t.Error("no SSE frames observed across all clients")
+	}
+
+	done, failed, canceled := 0, 0, 0
+	for _, id := range ids {
+		final := waitTerminal(t, ts, id)
+		switch final.State {
+		case StateDone:
+			done++
+		case StateFailed:
+			failed++
+			t.Errorf("job %s failed: %s", id, final.Error)
+		case StateCanceled:
+			canceled++
+		}
+		// Every finished campaign's trace artifact must be a valid
+		// .tct file.
+		if final.State == StateDone {
+			path := s.store.TracePath(id)
+			r, closer, err := tracefile.OpenFile(path)
+			if err != nil {
+				t.Errorf("job %s trace: %v", id, err)
+				continue
+			}
+			if len(r.Schema()) == 0 {
+				t.Errorf("job %s trace has no schema", id)
+			}
+			closer.Close()
+		}
+	}
+	if done != jobs {
+		t.Errorf("done=%d failed=%d canceled=%d, want all %d done", done, failed, canceled, jobs)
+	}
+
+	// The metrics ledger balances once everything is terminal.
+	if got := s.m.submitted.Value(); got != jobs {
+		t.Errorf("submitted = %d, want %d", got, jobs)
+	}
+	if got := s.m.finished[StateDone].Value(); got != uint64(done) {
+		t.Errorf("finished{done} = %d, want %d", got, done)
+	}
+	if got := s.m.jobSeconds.Count(); got != jobs {
+		t.Errorf("job_seconds count = %d, want %d", got, jobs)
+	}
+	if d := s.m.queueDepth.Value(); d != 0 {
+		t.Errorf("queue depth %v after drain, want 0", d)
+	}
+	if r := s.m.running.Value(); r != 0 {
+		t.Errorf("running %v after drain, want 0", r)
+	}
+}

@@ -37,4 +37,7 @@ go test -race ./...
 echo "==> chaos smoke (experiments -only chaos)"
 go run ./cmd/experiments -only chaos >/dev/null
 
+echo "==> campaign server smoke (scripts/serversmoke.sh)"
+TRACE="$(mktemp -u).tct" ./scripts/serversmoke.sh >/dev/null
+
 echo "OK"

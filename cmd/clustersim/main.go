@@ -1,7 +1,8 @@
-// Command clustersim executes an NPB-like parallel program on a
-// simulated cluster under a chosen thermal-control configuration and
-// reports execution time, power and thermal statistics per node — the
-// workhorse behind the paper's §4.3/§4.4 comparisons.
+// Command clustersim executes an NPB-like parallel program — or a
+// declarative open-loop workload — on a simulated cluster under a
+// chosen thermal-control configuration and reports execution time,
+// power and thermal statistics per node — the workhorse behind the
+// paper's §4.3/§4.4 comparisons.
 //
 // Usage:
 //
@@ -9,13 +10,17 @@
 //	           [-dvfs none|tdvfs|cpuspeed] [-sleep none|ctlarray] [-pp 50]
 //	           [-max-duty 50] [-seed N] [-workers GOMAXPROCS]
 //	           [-listen 127.0.0.1:9090] [-chaos-seed N] [-scenario run.json]
-//	           [-trace run.tct]
+//	           [-trace run.tct] [-for 60s]
 //
 // The flags are shorthand for a scenario document (see internal/config):
 // -scenario loads the same description from JSON and takes precedence
 // over the topology and control flags, so a fleet configuration checked
 // into version control drives clustersim, thermctld and the experiment
-// harness identically.
+// harness identically. A scenario that declares a workload block (or
+// per-group workloads) instead of a program runs its per-node seeded
+// generators for -for simulated time (the chaos horizon wins when the
+// scenario replays a fault campaign); see examples/README.md for the
+// scenario gallery.
 //
 // With -sleep ctlarray, the processor sleep-state actuator
 // (cstates.Actuator) is driven through the same thermal control array
@@ -48,6 +53,7 @@ import (
 	"runtime"
 	"time"
 
+	"thermctl/internal/cluster"
 	"thermctl/internal/config"
 	"thermctl/internal/metrics"
 )
@@ -75,6 +81,8 @@ func main() {
 	flag.Uint64Var(&s.Chaos.Seed, "chaos-seed", 0,
 		"generate and replay a deterministic fault campaign with this seed (0 = no faults)")
 	tracePath := flag.String("trace", "", "record per-node series to this binary trace file (inspect with thermtrace)")
+	runFor := flag.Duration("for", 60*time.Second,
+		"simulated duration of workload (generator-driven) scenarios; programs run to completion")
 	flag.Parse()
 
 	if *scenarioPath != "" {
@@ -85,8 +93,8 @@ func main() {
 		s = loaded
 	}
 	s.Metrics.Enabled = s.Metrics.Enabled || *listen != ""
-	if s.Program == "" {
-		s.Program = "bt" // clustersim runs a program; generator scenarios are thermctld's
+	if s.Program == "" && !s.HasWorkload() {
+		s.Program = "bt" // bare topology flags mean the classic program run
 	}
 	s.Normalize()
 	if err := s.Validate(); err != nil {
@@ -153,17 +161,39 @@ func main() {
 		}
 	}
 
+	load := "workload " + s.Workload.String()
+	if rig.Program != nil {
+		load = rig.Program.String()
+	} else if s.Workload == nil {
+		load = "per-group workloads"
+	}
 	fmt.Printf("clustersim: %s on %d nodes (%d workers), fan=%s dvfs=%s sleep=%s Pp=%d max-duty=%.0f%%\n",
-		*rig.Program, s.Nodes, c.Workers(), s.Control.Fan, s.Control.DVFS, s.Control.Sleep,
+		load, s.Nodes, c.Workers(), s.Control.Fan, s.Control.DVFS, s.Control.Sleep,
 		s.Control.Tuning.Pp, s.Control.Tuning.MaxFanDuty)
-	res := c.RunProgram(*rig.Program, 0)
+	var res cluster.RunResult
+	if rig.Program != nil {
+		res = c.RunProgram(*rig.Program, 0)
+	} else {
+		horizon := rig.ChaosHorizon
+		if horizon <= 0 {
+			horizon = *runFor
+		}
+		res = c.RunGenerators(rig.Generators, horizon)
+		if res.Err != nil {
+			fatal(res.Err)
+		}
+	}
 	closeTrace()
 	if res.TimedOut {
 		fmt.Println("WARNING: run hit the simulation time limit")
 	}
 
-	fmt.Printf("\nexecution time: %.1f s (ideal at 2.4 GHz: %.1f s)\n",
-		res.ExecTime.Seconds(), rig.Program.IdealSeconds(2.4))
+	if rig.Program != nil {
+		fmt.Printf("\nexecution time: %.1f s (ideal at 2.4 GHz: %.1f s)\n",
+			res.ExecTime.Seconds(), rig.Program.IdealSeconds(2.4))
+	} else {
+		fmt.Printf("\nsimulated time: %.1f s\n", res.ExecTime.Seconds())
+	}
 	fmt.Printf("%-8s %10s %10s %10s %12s %12s\n",
 		"node", "avg W", "peak W", "die degC", "fan duty %", "freq chgs")
 	var totalW float64

@@ -26,7 +26,7 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "", "comma-separated subset: fig2,fig5,fig6,fig7,fig8,fig9,table1,fig10,fanfailure,scaling,rack,workloads,ablation,sleepstates,metrics,chaos")
+	only := flag.String("only", "", "comma-separated subset: fig2,fig5,fig6,fig7,fig8,fig9,table1,fig10,fanfailure,scaling,rack,workloads,ablation,sleepstates,loadshapes,metrics,chaos")
 	seed := flag.Uint64("seed", experiment.Seed, "simulation seed")
 	csvDir := flag.String("csv", "", "directory to write per-figure CSV series into")
 	markdown := flag.Bool("markdown", false, "emit the full generated reproduction report as markdown and exit")
@@ -192,6 +192,13 @@ func main() {
 	}
 	if run("sleepstates") {
 		r, err := experiment.SleepStates(*seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(r)
+	}
+	if run("loadshapes") {
+		r, err := experiment.LoadShapes(*seed)
 		if err != nil {
 			fatal(err)
 		}

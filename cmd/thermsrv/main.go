@@ -9,7 +9,7 @@
 //
 //	thermsrv [-listen 127.0.0.1:9600] [-dir thermsrv-data]
 //	         [-workers 4] [-queue 64] [-sample 1s] [-gen-horizon 60s]
-//	         [-drain 30s]
+//	         [-scenarios dir] [-drain 30s]
 //
 // API (see DESIGN.md §13 and cmd/thermq for a client):
 //
@@ -61,6 +61,7 @@ type options struct {
 	queue      int
 	sample     time.Duration
 	genHorizon time.Duration
+	scenarios  string
 	drain      time.Duration
 
 	// stop, when non-nil, triggers shutdown from another goroutine the
@@ -79,6 +80,7 @@ func main() {
 	flag.IntVar(&o.queue, "queue", 64, "queued submissions beyond the running jobs before 429")
 	flag.DurationVar(&o.sample, "sample", time.Second, "trace and stream cadence in simulated time")
 	flag.DurationVar(&o.genHorizon, "gen-horizon", 60*time.Second, "simulated run length for generator-driven (programless) jobs without a chaos horizon")
+	flag.StringVar(&o.scenarios, "scenarios", "", "scenario library directory that submitted specs may \"extends\" from (empty refuses extends)")
 	flag.DurationVar(&o.drain, "drain", 30*time.Second, "how long shutdown waits for running campaigns before canceling them")
 	flag.Parse()
 
@@ -99,6 +101,7 @@ func run(o options, out io.Writer) error {
 		Registry:         reg,
 		SampleEvery:      o.sample,
 		GeneratorHorizon: o.genHorizon,
+		ScenarioDir:      o.scenarios,
 	})
 	if err != nil {
 		return err

@@ -164,6 +164,46 @@ func BenchmarkClusterStepTrace(b *testing.B) {
 	}
 }
 
+// BenchmarkClusterStepWorkload is the workload-plane twin of
+// BenchmarkClusterStep at the 64-node scale: the same step loop with
+// every node evaluating its own spec-built seeded generator (uniform
+// random demand redrawn once per simulated second) instead of one
+// shared Constant. Generator evaluation happens inside node.Step in the
+// sharded phase, so this measures exactly what the per-node workload
+// plane adds to the hot path: one rng.Mix + SplitMix64 draw per
+// node-step, no allocation (Utilization is a hotalloc root; Random
+// keys a throwaway stream via rng.At instead of holding state). The
+// acceptance bar — enforced by `benchjson -within ClusterStep
+// ClusterStepWorkload -tolerance 10` in scripts/bench.sh — is within
+// 10% of the bare step.
+func BenchmarkClusterStepWorkload(b *testing.B) {
+	const nodes = 64
+	spec := workload.Spec{Kind: workload.KindRandom, Dist: "uniform", HoldMS: 1000}
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("nodes=%d/workers=%d", nodes, workers), func(b *testing.B) {
+			c, err := New(nodes, DefaultDt, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			c.SetWorkers(workers)
+			for i, n := range c.Nodes {
+				g, err := spec.Build(1, i)
+				if err != nil {
+					b.Fatal(err)
+				}
+				n.SetGenerator(g)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Step()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(nodes)*float64(b.N)/b.Elapsed().Seconds(), "node-steps/s")
+		})
+	}
+}
+
 // BenchmarkEngineStep is the control-engine twin of
 // BenchmarkClusterStep: the same cluster step with every node under the
 // paper's full unified controller (dynamic fan + tDVFS coupled by the

@@ -129,16 +129,32 @@ func New(n int, dt time.Duration, seed uint64) (*Cluster, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("cluster: no nodes")
 	}
-	// Hot per-node state is laid out struct-of-arrays: the thermal
-	// integrator states and power-meter accumulators of all nodes live
-	// in two contiguous slices, so the parallel sweep walks dense
-	// memory instead of chasing per-node heap islands. The node API is
-	// unchanged — each node's Thermal/Meter point into its slot.
-	therm := make([]thermal.State, n)
-	meters := make([]power.Meter, n)
-	nodes := make([]*node.Node, 0, n)
+	cfgs := make([]node.Config, n)
 	for i := 0; i < n; i++ {
-		cfg := node.DefaultConfig(fmt.Sprintf("node%d", i), rng.Mix(seed, uint64(i)))
+		cfgs[i] = node.DefaultConfig(fmt.Sprintf("node%d", i), rng.Mix(seed, uint64(i)))
+	}
+	return NewFromConfigs(cfgs, dt)
+}
+
+// NewFromConfigs builds a cluster from per-node configurations — the
+// constructor for heterogeneous fleets, where node groups differ in
+// CPU frequency table, fan curve or thermal mass (config.Scenario's
+// "groups" block lands here). Any ThermalState/Meter pointers in the
+// configs are overridden: the hot per-node state is laid out
+// struct-of-arrays, with the thermal integrator states and power-meter
+// accumulators of all nodes in two contiguous slices, so the parallel
+// sweep walks dense memory instead of chasing per-node heap islands.
+// The node API is unchanged — each node's Thermal/Meter point into its
+// slot.
+func NewFromConfigs(cfgs []node.Config, dt time.Duration) (*Cluster, error) {
+	if len(cfgs) == 0 {
+		return nil, fmt.Errorf("cluster: no nodes")
+	}
+	therm := make([]thermal.State, len(cfgs))
+	meters := make([]power.Meter, len(cfgs))
+	nodes := make([]*node.Node, 0, len(cfgs))
+	for i := range cfgs {
+		cfg := cfgs[i]
 		cfg.ThermalState = &therm[i]
 		cfg.Meter = &meters[i]
 		nd, err := node.New(cfg)
@@ -275,17 +291,50 @@ func (c *Cluster) Step() {
 	c.tickControllers()
 }
 
-// RunGenerator attaches g to every node and steps for d. When the
-// cluster steps in parallel (SetWorkers), g must be stateless — see
-// SetWorkers for the contract.
-func (c *Cluster) RunGenerator(g workload.Generator, d time.Duration) {
+// RunGenerator attaches g to every node and steps for d. Because one
+// instance is shared by the whole fleet, g must be stateless — see
+// SetWorkers for the contract. For per-node instances (stateful
+// generators, or independent seeded demand per node) use
+// RunGenerators; the config layer's workload spec builds that slice.
+func (c *Cluster) RunGenerator(g workload.Generator, d time.Duration) RunResult {
 	for _, n := range c.Nodes {
 		n.SetGenerator(g)
 	}
-	deadline := c.Clock.Now() + d
-	for c.Clock.Now() < deadline && !c.stopRequested() {
+	return c.runSteps(d)
+}
+
+// ErrGeneratorCount reports a RunGenerators slice whose length does not
+// match the node count.
+var ErrGeneratorCount = errors.New("cluster: RunGenerators needs exactly one generator per node")
+
+// RunGenerators attaches gens[i] to node i and steps for d. This is
+// the open-loop core path: every node gets its own generator instance,
+// so stateful generators (CPUBurn's noise stream) and per-node seeded
+// demand are safe under parallel stepping — node i's generator is only
+// ever evaluated by the worker that owns node i that sweep, and
+// trajectories stay byte-identical across worker counts.
+func (c *Cluster) RunGenerators(gens []workload.Generator, d time.Duration) RunResult {
+	if len(gens) != len(c.Nodes) {
+		return RunResult{Err: ErrGeneratorCount}
+	}
+	for i, n := range c.Nodes {
+		n.SetGenerator(gens[i])
+	}
+	return c.runSteps(d)
+}
+
+// runSteps advances the cluster until d of simulated time has elapsed
+// or the stop signal armed with SetStop fires at a round boundary.
+func (c *Cluster) runSteps(d time.Duration) RunResult {
+	start := c.Clock.Now()
+	deadline := start + d
+	for c.Clock.Now() < deadline {
+		if c.stopRequested() {
+			return RunResult{ExecTime: c.Clock.Now() - start, Canceled: true}
+		}
 		c.Step()
 	}
+	return RunResult{ExecTime: c.Clock.Now() - start}
 }
 
 // phase of one SPMD process within the current iteration.

@@ -209,8 +209,10 @@ func (p *shardPool) close() {
 // be stateless, as the built-in Constant/Step/Ramp/Jitter generators
 // are. A generator with internal state (e.g. CPUBurn with a noise
 // stream) shared across nodes would be stepped concurrently; give each
-// node its own instance instead. The same locality contract applies to
-// controllers attached with AddNodeController.
+// node its own instance instead — RunGenerators takes one generator
+// per node, and workload.Spec.Build derives per-node instances from a
+// family seed. The same locality contract applies to controllers
+// attached with AddNodeController.
 func (c *Cluster) SetWorkers(w int) {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)

@@ -10,10 +10,10 @@ package config
 // ControlSpec.BuildNode are that loop, written once.
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"time"
@@ -75,8 +75,9 @@ type MetricsSpec struct {
 type Scenario struct {
 	// Name labels the scenario in logs.
 	Name string `json:"name,omitempty"`
-	// Nodes is the cluster size. Default 4.
-	Nodes int `json:"nodes"`
+	// Nodes is the cluster size. Default 4. With Groups it is derived
+	// (the sum of the group sizes) and must not be set explicitly.
+	Nodes int `json:"nodes,omitempty"`
 	// Seed seeds the simulation. Default 20100131.
 	Seed uint64 `json:"seed"`
 	// Workers is the stepping worker-pool size; 0 picks GOMAXPROCS at
@@ -85,8 +86,20 @@ type Scenario struct {
 	// not an error). Results are identical for any value.
 	Workers int `json:"workers,omitempty"`
 	// Program is the SPMD program to execute: bt, lu, or empty for
-	// generator-driven runs (the caller attaches its own workload).
+	// generator-driven runs (driven by Workload when set, otherwise the
+	// caller attaches its own generators).
 	Program string `json:"program,omitempty"`
+	// Workload is the declarative open-loop workload: one spec,
+	// instantiated per node with an independent seeded stream (see
+	// workload.Spec.Build). Mutually exclusive with Program. Build
+	// returns the per-node generators in Rig.Generators; run them with
+	// Cluster.RunGenerators.
+	Workload *workload.Spec `json:"workload,omitempty"`
+	// Groups partitions the fleet into named node groups with
+	// heterogeneous hardware and optional per-group workloads, laid out
+	// contiguously in declaration order. When set, Nodes is derived as
+	// the sum of the group sizes.
+	Groups []GroupSpec `json:"groups,omitempty"`
 	// Control selects the per-node techniques.
 	Control ControlSpec `json:"control"`
 	// Chaos optionally replays a generated fault campaign.
@@ -107,6 +120,11 @@ func DefaultScenario() Scenario {
 
 // Normalize fills zero fields with the defaults.
 func (s *Scenario) Normalize() {
+	if len(s.Groups) > 0 && s.Nodes == 0 {
+		for i := range s.Groups {
+			s.Nodes += s.Groups[i].Nodes
+		}
+	}
 	if s.Nodes == 0 {
 		s.Nodes = 4
 	}
@@ -143,6 +161,46 @@ func (s *Scenario) Validate() error {
 	default:
 		return fmt.Errorf("config: program %q: unknown program (want bt or lu)", s.Program)
 	}
+	if s.Program != "" && s.Workload != nil {
+		return fmt.Errorf("config: program %q and a workload spec are mutually exclusive", s.Program)
+	}
+	if s.Workload != nil {
+		if err := s.Workload.Validate(); err != nil {
+			return fmt.Errorf("config: %w", err)
+		}
+	}
+	if len(s.Groups) > 0 {
+		sum := 0
+		seen := make(map[string]bool, len(s.Groups))
+		for i := range s.Groups {
+			g := &s.Groups[i]
+			if g.Name == "" {
+				return fmt.Errorf("config: groups[%d]: missing name", i)
+			}
+			if seen[g.Name] {
+				return fmt.Errorf("config: group %q declared twice", g.Name)
+			}
+			seen[g.Name] = true
+			if g.Nodes < 1 {
+				return fmt.Errorf("config: group %q: nodes %d: needs at least one node", g.Name, g.Nodes)
+			}
+			if err := g.Hardware.validate(); err != nil {
+				return fmt.Errorf("config: group %q: %w", g.Name, err)
+			}
+			if g.Workload != nil {
+				if s.Program != "" {
+					return fmt.Errorf("config: group %q: per-group workloads and program %q are mutually exclusive", g.Name, s.Program)
+				}
+				if err := g.Workload.Validate(); err != nil {
+					return fmt.Errorf("config: group %q: %w", g.Name, err)
+				}
+			}
+			sum += g.Nodes
+		}
+		if s.Nodes != sum {
+			return fmt.Errorf("config: nodes %d conflicts with the group sizes (sum %d); omit nodes when declaring groups", s.Nodes, sum)
+		}
+	}
 	switch s.Control.Fan {
 	case "dynamic", "static", "constant", "auto":
 	default:
@@ -170,29 +228,22 @@ func (s *Scenario) Validate() error {
 	return s.Control.Tuning.Validate()
 }
 
-// ReadScenario parses, normalizes and validates a JSON scenario.
+// ReadScenario parses, normalizes and validates a JSON scenario. With
+// no scenario directory to resolve against, "extends" is refused; use
+// ReadScenarioDir or LoadScenario for composed scenarios.
 func ReadScenario(r io.Reader) (Scenario, error) {
-	dec := json.NewDecoder(r)
-	dec.DisallowUnknownFields()
-	var s Scenario
-	if err := dec.Decode(&s); err != nil {
-		return Scenario{}, fmt.Errorf("config: %w", err)
-	}
-	s.Normalize()
-	if err := s.Validate(); err != nil {
-		return Scenario{}, err
-	}
-	return s, nil
+	return ReadScenarioDir(r, "")
 }
 
-// LoadScenario reads a scenario file.
+// LoadScenario reads a scenario file, resolving any "extends" chain
+// against the file's own directory.
 func LoadScenario(path string) (Scenario, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return Scenario{}, fmt.Errorf("config: %w", err)
 	}
 	defer f.Close()
-	return ReadScenario(f)
+	return ReadScenarioDir(f, filepath.Dir(path))
 }
 
 // NodeOptions adjusts BuildNode for the caller's environment.
@@ -354,6 +405,14 @@ type Rig struct {
 	// Nodes holds the per-node controller sets, index-aligned with
 	// Cluster.Nodes.
 	Nodes []*NodeControl
+	// Generators holds the per-node workload instances built from the
+	// scenario's workload plane, index-aligned with Cluster.Nodes (nil
+	// when the scenario runs a program or declares no workload). Run
+	// with Cluster.RunGenerators.
+	Generators []workload.Generator
+	// Groups locates each declared node group inside Cluster.Nodes
+	// (nil for ungrouped scenarios).
+	Groups []BuiltGroup
 }
 
 // Build assembles the scenario: cluster, settle, fault campaign,
@@ -375,9 +434,18 @@ func (s Scenario) Build() (*Rig, error) {
 		rig.Program = &p
 	}
 
-	c, err := cluster.New(s.Nodes, cluster.DefaultDt, s.Seed)
+	cfgs, groups := s.nodeConfigs()
+	rig.Groups = groups
+	c, err := cluster.NewFromConfigs(cfgs, cluster.DefaultDt)
 	if err != nil {
 		return nil, err
+	}
+	if rig.Program == nil {
+		gens, err := s.buildGenerators()
+		if err != nil {
+			return nil, err
+		}
+		rig.Generators = gens
 	}
 	workers := s.Workers
 	if workers == 0 {

@@ -1,0 +1,66 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"thermctl/internal/workload"
+)
+
+// TestLoadShapesPolicyOrdering runs the full sweep and asserts its
+// qualitative claims: the policy ordering (Pp 25 never hotter than
+// Pp 75) holds for every demand shape, the +6 C hot-inlet group shows
+// through every shape, and nothing trips the emergency threshold.
+func TestLoadShapesPolicyOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("twelve generator-driven fleet runs")
+	}
+	r, err := LoadShapes(Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CheckPolicyOrdering(); err != nil {
+		t.Error(err)
+	}
+	if want := len(r.Shapes) * len(r.Pps); len(r.Rows) != want {
+		t.Fatalf("rows = %d, want %d", len(r.Rows), want)
+	}
+	for _, row := range r.Rows {
+		if row.MaxDieC >= emergencyC {
+			t.Errorf("%s pp%d: die peaked at %.2f degC, at or above the trip point",
+				row.Shape, row.Pp, row.MaxDieC)
+		}
+		if len(row.GroupMaxC) != 3 {
+			t.Errorf("%s pp%d: %d group maxima, want 3", row.Shape, row.Pp, len(row.GroupMaxC))
+		}
+	}
+	if !strings.Contains(r.String(), "weakfan") {
+		t.Error("report missing the per-group columns")
+	}
+}
+
+// TestLoadShapesCellDeterministic re-runs one cell and compares: the
+// per-node seeded generator path must preserve bit-reproducibility
+// through the scenario layer.
+func TestLoadShapesCellDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full sweep cells")
+	}
+	spec := workload.Spec{Kind: workload.KindRandom, Dist: "heavytail", Alpha: 1.4, Min: 0.05, Max: 1, HoldMS: 2000}
+	a, err := loadShapesCell(Seed, "random", spec, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := loadShapesCell(Seed, "random", spec, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.AvgW != b.AvgW || a.MaxDieC != b.MaxDieC || a.HotSeconds != b.HotSeconds {
+		t.Errorf("same seed, different rows:\n%+v\n%+v", a, b)
+	}
+	for name, v := range a.GroupMaxC {
+		if b.GroupMaxC[name] != v {
+			t.Errorf("group %s: %.6f vs %.6f", name, v, b.GroupMaxC[name])
+		}
+	}
+}

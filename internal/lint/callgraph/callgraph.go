@@ -114,17 +114,19 @@ func (g *Graph) Roots() []*Node { return g.roots }
 // IsRoot reports whether fn is one of the hot roots: a method named
 // Step, OnStep, Decide or RunProgram (the SPMD execution loop is as hot
 // as the open-loop step — its per-round body runs once per simulation
-// step for the whole program), an Apply* method on a type named Txn, or
-// tracefile's Writer.Append (the trace recording path rides the step
-// loop and is benchmarked within 5% of the untraced step, so it must
-// stay allocation-free).
+// step for the whole program), a Utilization method (every workload
+// generator is evaluated per node per step inside the sharded phase,
+// so the whole generator library must be allocation-free), an Apply*
+// method on a type named Txn, or tracefile's Writer.Append (the trace
+// recording path rides the step loop and is benchmarked within 5% of
+// the untraced step, so it must stay allocation-free).
 func IsRoot(fn *types.Func) bool {
 	sig, ok := fn.Type().(*types.Signature)
 	if !ok || sig.Recv() == nil {
 		return false
 	}
 	switch fn.Name() {
-	case "Step", "OnStep", "Decide", "RunProgram":
+	case "Step", "OnStep", "Decide", "RunProgram", "Utilization":
 		return true
 	case "Append":
 		return recvTypeName(sig) == "Writer"

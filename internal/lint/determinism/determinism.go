@@ -29,13 +29,16 @@ var Analyzer = &lint.Analyzer{
 
 // scopePrefixes are the import-path prefixes (after "thermctl/") the
 // driver applies this analyzer to: the deterministic simulation core,
-// the scenario layer (whose wiring order fixes metric identity and
-// controller attachment order), and the experiment/clustersim binaries
-// whose outputs are compared trace-for-trace. Device emulation (i2c,
-// ipmi, hwmon, adt7467) and offline
-// tooling (trace, lint) are excluded; they are either exercised behind
-// the deterministic core or post-process its outputs with their own
-// sorting.
+// the scenario layer (whose wiring order fixes metric identity,
+// controller attachment order, and — through the workload plane's
+// spec factory and extends composition — which seeded generator every
+// node gets), the workload generator library itself (a per-node
+// Utilization stream must be a pure function of seed and time), and
+// the experiment/clustersim binaries whose outputs are compared
+// trace-for-trace. Device emulation (i2c, ipmi, hwmon, adt7467) and
+// offline tooling (trace, lint) are excluded; they are either
+// exercised behind the deterministic core or post-process its outputs
+// with their own sorting.
 var scopePrefixes = []string{
 	"internal/acpi",
 	"internal/baseline",

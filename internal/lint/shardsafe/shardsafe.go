@@ -42,7 +42,9 @@ var Analyzer = &lint.Analyzer{
 }
 
 // scopePrefixes are the packages whose code runs inside the cluster's
-// parallel phase: node.Node.Step's full call graph, the cluster and
+// parallel phase: node.Node.Step's full call graph — which since the
+// declarative workload plane includes every generator's Utilization
+// method, evaluated per node inside the shard — the cluster and
 // rack layers that orchestrate it, and — since the hierarchical step
 // loop moved node-local control into the sharded phase
 // (Cluster.AddNodeController) — the controller packages whose policies

@@ -32,7 +32,6 @@ import (
 	"thermctl/internal/config"
 	"thermctl/internal/metrics"
 	"thermctl/internal/report"
-	"thermctl/internal/rng"
 	"thermctl/internal/workload"
 )
 
@@ -54,6 +53,11 @@ type Config struct {
 	// have no chaos horizon of their own. Default 60s of simulated
 	// time.
 	GeneratorHorizon time.Duration
+	// ScenarioDir is the scenario library that submitted documents may
+	// compose from with "extends". Empty (the default) refuses extends:
+	// a client must not be able to read arbitrary server files by
+	// naming them as bases.
+	ScenarioDir string
 }
 
 func (c *Config) fillDefaults() {
@@ -176,11 +180,18 @@ const maxSpecBytes = 1 << 20
 
 // handleSubmit validates and enqueues one campaign.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	spec, err := config.ReadScenario(io.LimitReader(r.Body, maxSpecBytes))
+	spec, err := config.ReadScenarioDir(io.LimitReader(r.Body, maxSpecBytes), s.cfg.ScenarioDir)
 	if err != nil {
 		s.m.rejected[rejectInvalid].Inc()
 		writeError(w, http.StatusBadRequest, "invalid scenario: %v", err)
 		return
+	}
+	// A programless scenario with no workload plane runs the historical
+	// server default: per-node cpu-burn. Setting it here (rather than
+	// inside execute) persists the effective workload in the job's
+	// scenario.json artifact.
+	if spec.Program == "" && !spec.HasWorkload() {
+		spec.Workload = &workload.Spec{Kind: workload.KindCPUBurn}
 	}
 
 	id := s.newID()
@@ -467,7 +478,14 @@ func (s *Server) execute(j *Job) (*report.CampaignSummary, error) {
 	if rig.Program != nil {
 		res = c.RunProgram(*rig.Program, 0)
 	} else {
-		res = s.runGeneratorJob(j, rig)
+		// Generator-driven job: the rig carries one generator per node
+		// (handleSubmit defaults the workload plane for programless
+		// scenarios), and cancellation rides the SetStop signal above.
+		horizon := rig.ChaosHorizon
+		if horizon <= 0 {
+			horizon = s.cfg.GeneratorHorizon
+		}
+		res = c.RunGenerators(rig.Generators, horizon)
 	}
 
 	twErr := tw.Close()
@@ -500,37 +518,6 @@ func writeReportFile(path string, sum *report.CampaignSummary) error {
 		return err
 	}
 	return f.Close()
-}
-
-// runGeneratorJob drives a programless scenario with a per-node
-// CPU-burn workload for the job's horizon (the chaos horizon when one
-// is set, the server default otherwise). Each node gets its own
-// generator instance — CPUBurn is stateful, and the cluster steps
-// nodes in parallel.
-func (s *Server) runGeneratorJob(j *Job, rig *config.Rig) cluster.RunResult {
-	c := rig.Cluster
-	for i, n := range c.Nodes {
-		n.SetGenerator(workload.NewCPUBurn(rng.New(rng.Mix(j.scenario.Seed, uint64(1000+i)))))
-	}
-	horizon := rig.ChaosHorizon
-	if horizon <= 0 {
-		horizon = s.cfg.GeneratorHorizon
-	}
-	start := c.Clock.Now()
-	deadline := start + horizon
-	var res cluster.RunResult
-	for c.Clock.Now() < deadline {
-		select {
-		case <-j.ctx.Done():
-			res.Canceled = true
-			res.ExecTime = c.Clock.Now() - start
-			return res
-		default:
-		}
-		c.Step()
-	}
-	res.ExecTime = c.Clock.Now() - start
-	return res
 }
 
 // cancelAll cancels every job's context.

@@ -12,7 +12,7 @@
 # The suite is BenchmarkClusterStep / BenchmarkEngineStep /
 # BenchmarkClusterStepMetrics / BenchmarkClusterStepFaults /
 # BenchmarkClusterStepRack / BenchmarkClusterStepTrace /
-# BenchmarkClusterRunProgram in
+# BenchmarkClusterStepWorkload / BenchmarkClusterRunProgram in
 # internal/cluster: 4/64/256 nodes crossed with 1/4/GOMAXPROCS workers;
 # with FLEET=1 the ClusterStep matrix extends to 1k/10k/100k nodes
 # (make bench sets it — fleet shapes cost seconds of setup each, so the
@@ -69,7 +69,7 @@ fi
 # resets heap growth between repeats.
 echo "==> go test -bench cluster suite -benchtime $BENCHTIME x$COUNT epochs ./internal/cluster" >&2
 for _ in $(seq "$COUNT"); do
-	go test -run '^$' -bench 'Benchmark(Cluster(Step|StepMetrics|StepFaults|StepRack|StepTrace|RunProgram)|EngineStep)$' \
+	go test -run '^$' -bench 'Benchmark(Cluster(Step|StepMetrics|StepFaults|StepRack|StepTrace|StepWorkload|RunProgram)|EngineStep)$' \
 		-benchtime "$BENCHTIME" -count 1 ./internal/cluster
 done | tee "$tmp" >&2
 
@@ -84,6 +84,14 @@ go run ./cmd/benchjson -within ClusterStep EngineStep -tolerance "$WITHIN" "$OUT
 TRACEWITHIN="${TRACEWITHIN:-5}"
 echo "==> benchjson -within ClusterStep ClusterStepTrace -tolerance $TRACEWITHIN $OUT" >&2
 go run ./cmd/benchjson -within ClusterStep ClusterStepTrace -tolerance "$TRACEWITHIN" "$OUT"
+
+# Per-node seeded generator evaluation rides the sharded step path;
+# the declarative workload plane must stay a ~few-percent overhead on
+# the bare step (the committed trajectory reads ~5% with the uniform
+# random shape), gated at 10% (WORKLOADWITHIN to loosen locally).
+WORKLOADWITHIN="${WORKLOADWITHIN:-10}"
+echo "==> benchjson -within ClusterStep ClusterStepWorkload -tolerance $WORKLOADWITHIN $OUT" >&2
+go run ./cmd/benchjson -within ClusterStep ClusterStepWorkload -tolerance "$WORKLOADWITHIN" "$OUT"
 
 echo "==> benchjson -parallel ClusterStep -min-nodes $PMINNODES -slack $PSLACK $OUT" >&2
 go run ./cmd/benchjson -parallel ClusterStep -min-nodes "$PMINNODES" -slack "$PSLACK" "$OUT"

@@ -34,6 +34,9 @@ fi
 echo "==> go test -race ./..."
 go test -race ./...
 
+echo "==> scenario gallery (examples/*.json load + build, extends chains included)"
+go test ./internal/config -run 'TestScenarioGallery|TestGalleryExtendsChains' -count=1
+
 echo "==> chaos smoke (experiments -only chaos)"
 go run ./cmd/experiments -only chaos >/dev/null
 

@@ -17,7 +17,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-FLOOR="${FLOOR:-74}"
+FLOOR="${FLOOR:-75}"
 PROFILE="${PROFILE:-coverage.out}"
 
 echo "==> go test -coverprofile $PROFILE ./..." >&2
